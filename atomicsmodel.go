@@ -1,0 +1,209 @@
+// Package atomicsmodel is a reproduction of "Modeling the Performance
+// of Atomic Primitives on Modern Architectures" (Hoseini, Atalar,
+// Tsigas; ICPP 2019) as a Go library.
+//
+// It provides:
+//
+//   - a deterministic discrete-event simulator of MESI cache coherence
+//     on two machine models (a two-socket Intel Xeon E5 and an Intel
+//     Xeon Phi KNL), on which the atomic primitives CAS, FAA, SWAP,
+//     TAS, Load and Store execute with realistic line-bouncing costs;
+//   - the paper's analytical performance model (latency, throughput,
+//     CAS success rate, fairness, energy — under high and low
+//     contention), in a topology-aware "detailed" variant and the
+//     paper's three-constant "simple" variant with calibration;
+//   - workload and application benchmarks (counters, Treiber stack,
+//     spinlocks) and the full experiment harness that regenerates every
+//     table and figure (see DESIGN.md and EXPERIMENTS.md);
+//   - native sync/atomic microbenchmarks for qualitative host checks.
+//
+// This file re-exports the library's primary entry points so that
+// downstream code imports a single package:
+//
+//	m := atomicsmodel.XeonE5()
+//	model := atomicsmodel.NewModel(m)
+//	cores, _ := atomicsmodel.PlaceCompact(m, 16)
+//	pred := model.PredictHigh(atomicsmodel.FAA, cores, 0)
+//
+//	res, _ := atomicsmodel.RunWorkload(atomicsmodel.WorkloadConfig{
+//		Machine: m, Threads: 16, Primitive: atomicsmodel.FAA,
+//		Mode: atomicsmodel.HighContention,
+//	})
+package atomicsmodel
+
+import (
+	"atomicsmodel/internal/apps"
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/core"
+	"atomicsmodel/internal/harness"
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/native"
+	"atomicsmodel/internal/sim"
+	"atomicsmodel/internal/trace"
+	"atomicsmodel/internal/workload"
+)
+
+// Time is a simulated duration in picoseconds.
+type Time = sim.Time
+
+// Common durations.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Machine describes a simulated platform.
+type Machine = machine.Machine
+
+// XeonE5 returns the two-socket Xeon E5 machine description.
+func XeonE5() *Machine { return machine.XeonE5() }
+
+// KNL returns the Xeon Phi Knights Landing machine description.
+func KNL() *Machine { return machine.KNL() }
+
+// MachineByName resolves "XeonE5", "KNL" or "Ideal".
+func MachineByName(name string) (*Machine, error) { return machine.ByName(name) }
+
+// Machines returns the machines the paper evaluates.
+func Machines() []*Machine { return machine.All() }
+
+// Primitive identifies an atomic operation.
+type Primitive = atomics.Primitive
+
+// The primitives under study.
+const (
+	CAS   = atomics.CAS
+	FAA   = atomics.FAA
+	SWAP  = atomics.SWAP
+	TAS   = atomics.TAS
+	CAS2  = atomics.CAS2
+	Load  = atomics.Load
+	Store = atomics.Store
+	Fence = atomics.Fence
+)
+
+// ParsePrimitive resolves a primitive by its display name.
+func ParsePrimitive(name string) (Primitive, error) { return atomics.Parse(name) }
+
+// Model is the paper's cache-line bouncing performance model.
+type Model = core.Model
+
+// Prediction is a model output.
+type Prediction = core.Prediction
+
+// NewModel returns the topology-aware (detailed) model for m.
+func NewModel(m *Machine) *Model { return core.NewDetailed(m) }
+
+// AlgoStep describes one memory access of a concurrent algorithm's
+// operation, for Model.PredictAlgorithm (composite predictions).
+type AlgoStep = core.AlgoStep
+
+// Line sentinels for AlgoStep.
+const (
+	// PrivateLine marks a per-thread line (no cross-thread traffic).
+	PrivateLine = core.PrivateLine
+	// MigratoryLine marks per-element lines that transfer between
+	// threads without being a shared serialization point.
+	MigratoryLine = core.MigratoryLine
+)
+
+// CalibrateModel measures the simple model's three constants with
+// probe runs and returns the calibrated model.
+func CalibrateModel(m *Machine) (*Model, core.Calibration, error) { return core.Calibrate(m) }
+
+// Workload configuration and execution.
+type (
+	// WorkloadConfig parameterizes a simulated benchmark run.
+	WorkloadConfig = workload.Config
+	// WorkloadResult reports a run's measurements.
+	WorkloadResult = workload.Result
+	// LineState is an initial cache-line state for single-op latency.
+	LineState = workload.LineState
+)
+
+// Contention modes.
+const (
+	HighContention = workload.HighContention
+	LowContention  = workload.LowContention
+	ReadWriteMix   = workload.ReadWriteMix
+)
+
+// RunWorkload executes a simulated benchmark.
+func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) { return workload.Run(cfg) }
+
+// MeasureStateLatency measures one primitive on a line staged in the
+// given initial state.
+func MeasureStateLatency(m *Machine, p Primitive, st LineState) (Time, error) {
+	return workload.MeasureStateLatency(m, p, st)
+}
+
+// PlaceCompact returns the physical cores of n compactly placed
+// threads — the form model predictions consume.
+func PlaceCompact(m *Machine, n int) ([]int, error) {
+	slots, err := (machine.Compact{}).Place(m, n)
+	if err != nil {
+		return nil, err
+	}
+	cores := make([]int, n)
+	for i, s := range slots {
+		cores[i] = m.CoreOf(s)
+	}
+	return cores, nil
+}
+
+// Application benchmarks (counters, stacks, locks).
+type (
+	// App is one concurrent algorithm.
+	App = apps.App
+	// AppConfig parameterizes an application benchmark.
+	AppConfig = apps.RunConfig
+	// AppResult reports an application benchmark.
+	AppResult = apps.RunResult
+)
+
+// RunApp executes an application benchmark.
+func RunApp(cfg AppConfig) (*AppResult, error) { return apps.Run(cfg) }
+
+// Experiments (the paper's tables and figures).
+type (
+	// Experiment regenerates one table or figure.
+	Experiment = harness.Experiment
+	// ExperimentOptions tunes an experiment run.
+	ExperimentOptions = harness.Options
+	// ResultTable is a rendered experiment result.
+	ResultTable = harness.Table
+)
+
+// Experiments returns every registered experiment in display order.
+func Experiments() []*Experiment { return harness.All() }
+
+// ExperimentByID returns one experiment ("T1", "F1".."F12", "T2").
+func ExperimentByID(id string) (*Experiment, error) { return harness.ByID(id) }
+
+// Native host microbenchmarks.
+type (
+	// NativeConfig parameterizes a host sync/atomic run.
+	NativeConfig = native.Config
+	// NativeResult reports a host run.
+	NativeResult = native.Result
+)
+
+// RunNative executes a microbenchmark on the host CPU.
+func RunNative(cfg NativeConfig) (*NativeResult, error) { return native.Run(cfg) }
+
+// Line tracing (watch a cache line bounce).
+type (
+	// TraceRecorder captures the coherence-level life of one line.
+	TraceRecorder = trace.Recorder
+	// TraceSummary is a recorded run's bouncing statistics.
+	TraceSummary = trace.Summary
+	// LineID names a simulated cache line.
+	LineID = coherence.LineID
+)
+
+// NewTraceRecorder records accesses to one line (cap 0 = unlimited);
+// install its Observe method as the coherence system's tracer.
+func NewTraceRecorder(line LineID, cap int) *TraceRecorder { return trace.NewRecorder(line, cap) }

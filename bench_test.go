@@ -1,0 +1,387 @@
+// Benchmarks: one testing.B benchmark per table/figure of the paper
+// (T1, F1..F12, T2), each running the corresponding experiment workload
+// and reporting its headline quantity as a custom metric (Mops of
+// simulated throughput, ns of simulated latency, nJ/op, MAPE %), plus
+// native sync/atomic benchmarks of the primitives on the host CPU.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+package atomicsmodel_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"atomicsmodel"
+	"atomicsmodel/internal/apps"
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/core"
+	"atomicsmodel/internal/harness"
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/sim"
+	"atomicsmodel/internal/stats"
+	"atomicsmodel/internal/workload"
+)
+
+// benchCfg is a short-duration high-contention config for benchmarks.
+func benchCfg(m *machine.Machine, p atomics.Primitive, n int) workload.Config {
+	return workload.Config{
+		Machine: m, Threads: n, Primitive: p, Mode: workload.HighContention,
+		Warmup: 10 * sim.Microsecond, Duration: 100 * sim.Microsecond, Seed: 42,
+	}
+}
+
+func runBench(b *testing.B, cfg workload.Config) *workload.Result {
+	b.Helper()
+	var res *workload.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = workload.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+func BenchmarkT1MachineTable(b *testing.B) {
+	e, err := harness.ByID("T1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(harness.Options{Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF1LowContentionLatency(b *testing.B) {
+	for _, m := range machine.All() {
+		b.Run(m.Name, func(b *testing.B) {
+			var last sim.Time
+			for i := 0; i < b.N; i++ {
+				for _, st := range workload.AllLineStates() {
+					lat, err := workload.MeasureStateLatency(m, atomics.FAA, st)
+					if err != nil {
+						continue
+					}
+					last = lat
+				}
+			}
+			b.ReportMetric(last.Nanoseconds(), "dram_ns")
+		})
+	}
+}
+
+func BenchmarkF2HighContentionLatency(b *testing.B) {
+	for _, m := range machine.All() {
+		b.Run(m.Name, func(b *testing.B) {
+			res := runBench(b, benchCfg(m, atomics.FAA, 16))
+			b.ReportMetric(res.Latency.Mean().Nanoseconds(), "simlat_ns")
+		})
+	}
+}
+
+func BenchmarkF3HighContentionThroughput(b *testing.B) {
+	m := machine.XeonE5()
+	for _, p := range atomics.All() {
+		b.Run(p.String(), func(b *testing.B) {
+			res := runBench(b, benchCfg(m, p, 16))
+			b.ReportMetric(res.ThroughputMops, "sim_Mops")
+		})
+	}
+}
+
+func BenchmarkF4CASRetries(b *testing.B) {
+	m := machine.XeonE5()
+	res := runBench(b, benchCfg(m, atomics.CAS, 16))
+	b.ReportMetric(res.SuccessRate(), "success_rate")
+	b.ReportMetric(float64(res.Failures)/float64(res.Ops), "retries_per_op")
+}
+
+func BenchmarkF5Fairness(b *testing.B) {
+	m := machine.XeonE5()
+	for _, arb := range []struct {
+		name string
+		a    coherence.Arbiter
+	}{
+		{"fifo", coherence.FIFOArbiter{}},
+		{"locality", &coherence.LocalityArbiter{}},
+	} {
+		b.Run(arb.name, func(b *testing.B) {
+			cfg := benchCfg(m, atomics.FAA, 24)
+			cfg.Arbiter = arb.a
+			res := runBench(b, cfg)
+			b.ReportMetric(res.Jain, "jain")
+		})
+	}
+}
+
+func BenchmarkF6Energy(b *testing.B) {
+	for _, m := range machine.All() {
+		b.Run(m.Name, func(b *testing.B) {
+			res := runBench(b, benchCfg(m, atomics.FAA, 16))
+			b.ReportMetric(res.Energy.PerOpNJ, "nJ_per_op")
+			b.ReportMetric(res.Energy.AvgPowerW, "watts")
+		})
+	}
+}
+
+func BenchmarkF7ModelValidation(b *testing.B) {
+	for _, m := range machine.All() {
+		b.Run(m.Name, func(b *testing.B) {
+			md := core.NewDetailed(m)
+			var mape float64
+			for i := 0; i < b.N; i++ {
+				var pred, meas []float64
+				for _, n := range []int{2, 4, 8, 16} {
+					res, err := workload.Run(benchCfg(m, atomics.FAA, n))
+					if err != nil {
+						b.Fatal(err)
+					}
+					cores, err := atomicsmodel.PlaceCompact(m, n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					pred = append(pred, md.PredictHigh(atomics.FAA, cores, 0).ThroughputMops)
+					meas = append(meas, res.ThroughputMops)
+				}
+				mape = stats.MeanAbsPctError(pred, meas)
+			}
+			b.ReportMetric(mape, "mape_pct")
+		})
+	}
+}
+
+func BenchmarkF8WorkSweep(b *testing.B) {
+	m := machine.XeonE5()
+	for _, w := range []sim.Time{0, 400 * sim.Nanosecond, 3200 * sim.Nanosecond} {
+		b.Run(w.String(), func(b *testing.B) {
+			cfg := benchCfg(m, atomics.FAA, 16)
+			cfg.LocalWork = w
+			res := runBench(b, cfg)
+			b.ReportMetric(res.ThroughputMops, "sim_Mops")
+		})
+	}
+}
+
+func BenchmarkF9CounterDesign(b *testing.B) {
+	m := machine.XeonE5()
+	for _, c := range []struct {
+		name  string
+		build func(*sim.Engine, *atomics.Memory) apps.App
+	}{
+		{"faa", func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewFAACounter(mem) }},
+		{"cas", func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewCASCounter(mem) }},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var res *apps.RunResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = apps.Run(apps.RunConfig{
+					Machine: m, Threads: 16, Build: c.build,
+					Warmup: 10 * sim.Microsecond, Duration: 100 * sim.Microsecond, Seed: 42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.ThroughputMops, "sim_Mops")
+		})
+	}
+}
+
+func BenchmarkF10LockDesign(b *testing.B) {
+	m := machine.XeonE5()
+	crit := 50 * sim.Nanosecond
+	for _, c := range []struct {
+		name  string
+		build func(*sim.Engine, *atomics.Memory) apps.App
+	}{
+		{"tas", func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewTASLock(e, mem, crit) }},
+		{"ttas", func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewTTASLock(e, mem, crit) }},
+		{"backoff", func(e *sim.Engine, mem *atomics.Memory) apps.App {
+			return apps.NewTTASBackoffLock(e, mem, crit, 100*sim.Nanosecond, 3200*sim.Nanosecond)
+		}},
+		{"ticket", func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewTicketLock(e, mem, crit) }},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var res *apps.RunResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = apps.Run(apps.RunConfig{
+					Machine: m, Threads: 16, Build: c.build,
+					Warmup: 10 * sim.Microsecond, Duration: 100 * sim.Microsecond, Seed: 42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.ThroughputMops, "sim_Mops")
+			b.ReportMetric(res.Jain, "jain")
+		})
+	}
+}
+
+func BenchmarkF11Placement(b *testing.B) {
+	m := machine.XeonE5()
+	for _, p := range []machine.Placement{machine.Compact{}, machine.Scatter{}, machine.SMTFirst{}} {
+		b.Run(p.Name(), func(b *testing.B) {
+			cfg := benchCfg(m, atomics.FAA, 8)
+			cfg.Placement = p
+			res := runBench(b, cfg)
+			b.ReportMetric(res.ThroughputMops, "sim_Mops")
+		})
+	}
+}
+
+func BenchmarkF12ReadWriteMix(b *testing.B) {
+	m := machine.XeonE5()
+	for _, rf := range []float64{0, 0.9, 1.0} {
+		b.Run(f2name(rf), func(b *testing.B) {
+			cfg := benchCfg(m, atomics.FAA, 16)
+			cfg.Mode = workload.ReadWriteMix
+			cfg.ReadFraction = rf
+			res := runBench(b, cfg)
+			b.ReportMetric(res.ThroughputMops, "sim_Mops")
+		})
+	}
+}
+
+func f2name(v float64) string {
+	switch v {
+	case 0:
+		return "reads_0pct"
+	case 0.9:
+		return "reads_90pct"
+	default:
+		return "reads_100pct"
+	}
+}
+
+func BenchmarkF16Bandwidth(b *testing.B) {
+	for _, occ := range []float64{0, 4} {
+		name := "infinite"
+		if occ > 0 {
+			name = "occ4cyc"
+		}
+		b.Run(name, func(b *testing.B) {
+			m := machine.XeonE5()
+			m.LinkOccupancy = m.Cycles(occ)
+			res := runBench(b, benchCfg(m, atomics.FAA, 16))
+			b.ReportMetric(res.ThroughputMops, "sim_Mops")
+			b.ReportMetric(res.Coh.LinkStall.Nanoseconds(), "stall_ns")
+		})
+	}
+}
+
+func BenchmarkF17SocketScaling(b *testing.B) {
+	for _, s := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("%dsocket", s), func(b *testing.B) {
+			m := machine.XeonMultiSocket(s)
+			cfg := benchCfg(m, atomics.FAA, 16)
+			cfg.Placement = machine.Scatter{}
+			res := runBench(b, cfg)
+			b.ReportMetric(res.ThroughputMops, "sim_Mops")
+		})
+	}
+}
+
+func BenchmarkT2Calibration(b *testing.B) {
+	for _, m := range machine.All() {
+		b.Run(m.Name, func(b *testing.B) {
+			var cal core.Calibration
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, cal, err = core.Calibrate(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cal.TSame.Nanoseconds(), "tsame_ns")
+		})
+	}
+}
+
+// Native benchmarks: the real primitives on the host CPU, via the
+// standard testing.B parallel driver. These are the qualitative
+// hardware cross-check (see internal/native for caveats).
+
+func BenchmarkNativeContendedFAA(b *testing.B) {
+	var x atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			x.Add(1)
+		}
+	})
+}
+
+func BenchmarkNativeContendedCAS(b *testing.B) {
+	var x atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		expected := x.Load()
+		for pb.Next() {
+			if x.CompareAndSwap(expected, expected+1) {
+				expected++
+			} else {
+				expected = x.Load()
+			}
+		}
+	})
+}
+
+func BenchmarkNativeContendedSwap(b *testing.B) {
+	var x atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			x.Swap(7)
+		}
+	})
+}
+
+func BenchmarkNativeContendedLoad(b *testing.B) {
+	var x atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		var sink uint64
+		for pb.Next() {
+			sink += x.Load()
+		}
+		_ = sink
+	})
+}
+
+func BenchmarkNativeUncontendedFAA(b *testing.B) {
+	// Each goroutine gets its own padded line: the low-contention
+	// setting.
+	type padded struct {
+		v atomic.Uint64
+		_ [7]uint64
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		var local padded
+		for pb.Next() {
+			local.v.Add(1)
+		}
+	})
+}
+
+// BenchmarkSimulatorEventRate measures the simulator itself: how many
+// simulated coherence operations per wall-clock second this host
+// sustains (meta-benchmark for the substrate).
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	m := machine.XeonE5()
+	b.ReportAllocs()
+	ops := uint64(0)
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Run(benchCfg(m, atomics.FAA, 16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops += res.Attempts
+	}
+	b.ReportMetric(float64(ops)/float64(b.N), "simops_per_iter")
+}

@@ -1,0 +1,131 @@
+// End-to-end tests for the repository's extension claims (F13-F20, T3),
+// through the public API where it reaches.
+package atomicsmodel_test
+
+import (
+	"math"
+	"testing"
+
+	"atomicsmodel"
+	"atomicsmodel/internal/sim"
+)
+
+// Extension claim (F16): finite bandwidth only ever slows things down,
+// and by an amount that grows with occupancy.
+func TestClaimBandwidthMonotonic(t *testing.T) {
+	prev := math.Inf(1)
+	for _, occ := range []float64{0, 2, 8} {
+		m := atomicsmodel.XeonE5()
+		m.LinkOccupancy = m.Cycles(occ)
+		res := mustRun(t, atomicsmodel.WorkloadConfig{
+			Machine: m, Threads: 16, Primitive: atomicsmodel.FAA,
+			Mode: atomicsmodel.HighContention,
+		})
+		if res.ThroughputMops > prev+0.01 {
+			t.Fatalf("throughput rose with occupancy %v: %.2f > %.2f", occ, res.ThroughputMops, prev)
+		}
+		prev = res.ThroughputMops
+	}
+}
+
+// Extension claim (F19): the open-loop knee sits at the model's 1/s.
+func TestClaimOpenLoopKneeAtModelRate(t *testing.T) {
+	m := atomicsmodel.XeonE5()
+	model := atomicsmodel.NewModel(m)
+	cores, err := atomicsmodel.PlaceCompact(m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat := model.PredictHigh(atomicsmodel.FAA, cores, 0).ThroughputMops
+	run := func(frac float64) *atomicsmodel.WorkloadResult {
+		offered := frac * sat * 1e6 // ops/s total
+		inter := sim.Time(16.0 / offered * 1e12)
+		return mustRun(t, atomicsmodel.WorkloadConfig{
+			Machine: m, Threads: 16, Primitive: atomicsmodel.FAA,
+			Mode:     atomicsmodel.HighContention,
+			OpenLoop: true, OpenLoopInterarrival: inter,
+			Warmup: 25 * sim.Microsecond, Duration: 400 * sim.Microsecond,
+		})
+	}
+	under := run(0.8)
+	over := run(1.3)
+	// Below the knee the offer is absorbed; above it the latency
+	// diverges and throughput caps near the model's rate.
+	if e := math.Abs(under.ThroughputMops-0.8*sat) / (0.8 * sat); e > 0.10 {
+		t.Fatalf("sub-knee absorption off by %.0f%%", e*100)
+	}
+	if over.Latency.Mean() < 20*under.Latency.Mean() {
+		t.Fatalf("no divergence past the knee: %v vs %v", over.Latency.Mean(), under.Latency.Mean())
+	}
+	if e := math.Abs(over.ThroughputMops-sat) / sat; e > 0.12 {
+		t.Fatalf("saturated throughput %.2f vs model %.2f", over.ThroughputMops, sat)
+	}
+}
+
+// Extension claim (Fence): barriers cost the same regardless of where
+// any line is, and scale linearly — ordering is not contention.
+func TestClaimFenceIsContentionFree(t *testing.T) {
+	m := atomicsmodel.KNL()
+	r1 := mustRun(t, atomicsmodel.WorkloadConfig{
+		Machine: m, Threads: 1, Primitive: atomicsmodel.Fence,
+		Mode: atomicsmodel.HighContention,
+	})
+	r16 := mustRun(t, atomicsmodel.WorkloadConfig{
+		Machine: m, Threads: 16, Primitive: atomicsmodel.Fence,
+		Mode: atomicsmodel.HighContention,
+	})
+	if r16.Latency.Mean() != r1.Latency.Mean() {
+		t.Fatalf("fence latency changed with threads: %v vs %v", r16.Latency.Mean(), r1.Latency.Mean())
+	}
+	ratio := r16.ThroughputMops / r1.ThroughputMops
+	if ratio < 15.5 || ratio > 16.5 {
+		t.Fatalf("fence scaling = %.2fx, want 16x", ratio)
+	}
+}
+
+// Extension claim (F17): the socket-extrapolation experiment runs end
+// to end (model-vs-simulation accuracy on the 4-socket machine is
+// asserted in internal/core's tests).
+func TestClaimModelExtrapolatesSockets(t *testing.T) {
+	e, err := atomicsmodel.ExperimentByID("F17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(atomicsmodel.ExperimentOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) == 0 {
+		t.Fatal("F17 produced no rows")
+	}
+}
+
+// Extension claim (F18/F20): the design-decision experiments complete
+// and keep their invariants (violations column zero) end to end.
+func TestClaimDesignExperimentsSound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several app simulations")
+	}
+	for _, id := range []string{"F18", "F20"} {
+		e, err := atomicsmodel.ExperimentByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables, err := e.Run(atomicsmodel.ExperimentOptions{Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, tb := range tables {
+			if len(tb.Rows) == 0 {
+				t.Errorf("%s: empty table %q", id, tb.Title)
+			}
+			if id == "F20" {
+				for _, row := range tb.Rows {
+					if row[len(row)-1] != "0" {
+						t.Errorf("F20 mutual-exclusion violations: %v", row)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package-level integration tests: each test asserts one of the
+// paper's headline claims end-to-end through the public API. These are
+// the "does the reproduction reproduce" checks; the per-package tests
+// cover mechanics.
+package atomicsmodel_test
+
+import (
+	"testing"
+
+	"atomicsmodel"
+	"atomicsmodel/internal/sim"
+	"atomicsmodel/internal/workload"
+)
+
+func mustRun(t *testing.T, cfg atomicsmodel.WorkloadConfig) *atomicsmodel.WorkloadResult {
+	t.Helper()
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 15 * sim.Microsecond
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 150 * sim.Microsecond
+	}
+	res, err := atomicsmodel.RunWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Claim (abstract): "high and low contention access" behave differently
+// — the same primitive at the same thread count is orders of magnitude
+// apart between the two settings.
+func TestClaimContentionSettingsDiffer(t *testing.T) {
+	for _, m := range atomicsmodel.Machines() {
+		high := mustRun(t, atomicsmodel.WorkloadConfig{
+			Machine: m, Threads: 16, Primitive: atomicsmodel.FAA,
+			Mode: atomicsmodel.HighContention,
+		})
+		low := mustRun(t, atomicsmodel.WorkloadConfig{
+			Machine: m, Threads: 16, Primitive: atomicsmodel.FAA,
+			Mode: atomicsmodel.LowContention,
+		})
+		if low.ThroughputMops < 10*high.ThroughputMops {
+			t.Errorf("%s: low contention (%.1f Mops) should dwarf high contention (%.1f Mops)",
+				m.Name, low.ThroughputMops, high.ThroughputMops)
+		}
+	}
+}
+
+// Claim: the model "captures the behavior of atomics accurately" — on
+// every machine, for every RMW primitive, across the sweep, throughput
+// predictions land within 10%.
+func TestClaimModelAccuracy(t *testing.T) {
+	for _, m := range atomicsmodel.Machines() {
+		model := atomicsmodel.NewModel(m)
+		for _, p := range []atomicsmodel.Primitive{atomicsmodel.CAS, atomicsmodel.FAA, atomicsmodel.SWAP, atomicsmodel.TAS, atomicsmodel.CAS2} {
+			for _, n := range []int{1, 4, 16} {
+				res := mustRun(t, atomicsmodel.WorkloadConfig{
+					Machine: m, Threads: n, Primitive: p,
+					Mode:   atomicsmodel.HighContention,
+					Warmup: 25 * sim.Microsecond, Duration: 300 * sim.Microsecond,
+				})
+				cores, err := atomicsmodel.PlaceCompact(m, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pred := model.PredictHigh(p, cores, 0)
+				if res.ThroughputMops == 0 {
+					t.Fatalf("%s %v n=%d: no simulated throughput", m.Name, p, n)
+				}
+				err2 := (pred.ThroughputMops - res.ThroughputMops) / res.ThroughputMops
+				if err2 < -0.10 || err2 > 0.10 {
+					t.Errorf("%s %v n=%d: model %.2f vs sim %.2f (%.1f%%)",
+						m.Name, p, n, pred.ThroughputMops, res.ThroughputMops, err2*100)
+				}
+			}
+		}
+	}
+}
+
+// Claim: "bouncing of cache lines" is the mechanism — with more than
+// one thread, nearly every RMW is a remote cache transfer.
+func TestClaimLineBouncingDominates(t *testing.T) {
+	res := mustRun(t, atomicsmodel.WorkloadConfig{
+		Machine: atomicsmodel.XeonE5(), Threads: 8, Primitive: atomicsmodel.FAA,
+		Mode: atomicsmodel.HighContention,
+	})
+	if res.Coh.Accesses == 0 {
+		t.Fatal("no accesses")
+	}
+	remoteFrac := float64(res.Coh.RemoteXfers) / float64(res.Coh.Accesses)
+	if remoteFrac < 0.95 {
+		t.Errorf("remote transfer fraction %.3f, want ~1 under contention", remoteFrac)
+	}
+}
+
+// Claim: FAA sustains its rate under contention while CAS decays — the
+// design-decision headline.
+func TestClaimFAABeatsCAS(t *testing.T) {
+	for _, m := range atomicsmodel.Machines() {
+		faa := mustRun(t, atomicsmodel.WorkloadConfig{
+			Machine: m, Threads: 16, Primitive: atomicsmodel.FAA,
+			Mode: atomicsmodel.HighContention,
+		})
+		cas := mustRun(t, atomicsmodel.WorkloadConfig{
+			Machine: m, Threads: 16, Primitive: atomicsmodel.CAS,
+			Mode: atomicsmodel.HighContention,
+		})
+		if faa.ThroughputMops < 8*cas.ThroughputMops {
+			t.Errorf("%s: FAA %.2f vs CAS %.2f Mops; expected ~16x gap at 16 threads",
+				m.Name, faa.ThroughputMops, cas.ThroughputMops)
+		}
+	}
+}
+
+// Claim: energy per operation rises with contention.
+func TestClaimEnergyRisesWithContention(t *testing.T) {
+	m := atomicsmodel.KNL()
+	prev := 0.0
+	for _, n := range []int{1, 8, 32} {
+		res := mustRun(t, atomicsmodel.WorkloadConfig{
+			Machine: m, Threads: n, Primitive: atomicsmodel.FAA,
+			Mode: atomicsmodel.HighContention,
+		})
+		if res.Energy.PerOpNJ <= prev {
+			t.Fatalf("energy/op at %d threads (%.1f nJ) not above %d-thread value (%.1f nJ)",
+				n, res.Energy.PerOpNJ, n/8, prev)
+		}
+		prev = res.Energy.PerOpNJ
+	}
+}
+
+// Claim: per-op latency grows ~linearly with the number of contending
+// threads (the serialized line).
+func TestClaimLatencyLinearInThreads(t *testing.T) {
+	m := atomicsmodel.XeonE5()
+	lat := map[int]float64{}
+	for _, n := range []int{4, 8, 16} {
+		res := mustRun(t, atomicsmodel.WorkloadConfig{
+			Machine: m, Threads: n, Primitive: atomicsmodel.SWAP,
+			Mode: atomicsmodel.HighContention,
+		})
+		lat[n] = res.Latency.Mean().Nanoseconds()
+	}
+	// Doubling the population about doubles the wait; compact placement
+	// also lengthens transfers as the contender set spreads over the
+	// ring, so the ratio runs slightly above 2.
+	r1 := lat[8] / lat[4]
+	r2 := lat[16] / lat[8]
+	for _, r := range []float64{r1, r2} {
+		if r < 1.7 || r > 3.0 {
+			t.Errorf("doubling threads scaled latency by %.2fx, want ~2-3x (%v)", r, lat)
+		}
+	}
+}
+
+// Claim: calibrating the simple model takes three probes and still
+// ranks the primitives and predicts the contention cliff.
+func TestClaimSimpleModelUsable(t *testing.T) {
+	m := atomicsmodel.KNL()
+	model, cal, err := atomicsmodel.CalibrateModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.TLocal >= cal.TSame {
+		t.Fatal("calibration ordering broken")
+	}
+	cores, err := atomicsmodel.PlaceCompact(m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faa := model.PredictHigh(atomicsmodel.FAA, cores, 0)
+	cas := model.PredictHigh(atomicsmodel.CAS, cores, 0)
+	solo := model.PredictHigh(atomicsmodel.FAA, cores[:1], 0)
+	if !(cas.ThroughputMops < faa.ThroughputMops && faa.ThroughputMops < solo.ThroughputMops) {
+		t.Fatalf("simple model ordering broken: cas=%.2f faa=%.2f solo=%.2f",
+			cas.ThroughputMops, faa.ThroughputMops, solo.ThroughputMops)
+	}
+}
+
+// Claim: single-op latency is determined by where the line is (the
+// low-contention table), in the canonical order.
+func TestClaimStateLatencyOrdering(t *testing.T) {
+	m := atomicsmodel.XeonE5()
+	get := func(st atomicsmodel.LineState) float64 {
+		v, err := atomicsmodel.MeasureStateLatency(m, atomicsmodel.FAA, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.Nanoseconds()
+	}
+	local := get(workload.StateModifiedLocal)
+	llc := get(workload.StateLLC)
+	same := get(workload.StateRemoteSameSocket)
+	cross := get(workload.StateRemoteOtherSocket)
+	dram := get(workload.StateMemory)
+	// Owned lines are cheapest; on-chip sources (LLC, same-socket
+	// cache) beat off-chip-class sources (QPI-crossing, DRAM). LLC vs
+	// same-socket cache ordering is parameter-dependent on real parts
+	// too, so it is not asserted.
+	onChipMax := llc
+	if same > onChipMax {
+		onChipMax = same
+	}
+	offChipMin := cross
+	if dram < offChipMin {
+		offChipMin = dram
+	}
+	if !(local < llc && local < same && onChipMax < offChipMin) {
+		t.Fatalf("ordering broken: local=%.1f llc=%.1f same=%.1f cross=%.1f dram=%.1f",
+			local, llc, same, cross, dram)
+	}
+}
+
+// Claim: experiments are reproducible bit-for-bit (determinism).
+func TestClaimDeterministicReproduction(t *testing.T) {
+	cfg := atomicsmodel.WorkloadConfig{
+		Machine: atomicsmodel.KNL(), Threads: 32, Primitive: atomicsmodel.CAS,
+		Mode: atomicsmodel.HighContention, Seed: 7,
+		Warmup: 15 * sim.Microsecond, Duration: 100 * sim.Microsecond,
+	}
+	a, err := atomicsmodel.RunWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := atomicsmodel.RunWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ops != b.Ops || a.Failures != b.Failures || a.Energy.TotalJ != b.Energy.TotalJ {
+		t.Fatal("identical configs diverged")
+	}
+}

@@ -1,0 +1,122 @@
+// Command atomicmodel queries the paper's performance model directly:
+// given a machine, primitive, thread count/placement and local work, it
+// prints the predicted service time, throughput, latency, CAS success
+// rate, fairness and energy — optionally next to a simulator run.
+//
+// Usage:
+//
+//	atomicmodel -machine XeonE5 -primitive FAA -threads 16
+//	atomicmodel -machine KNL -primitive CAS -threads 64 -compare
+//	atomicmodel -machine XeonE5 -primitive FAA -threads 8 -placement scatter -work 200ns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/core"
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/sim"
+	"atomicsmodel/internal/workload"
+)
+
+func main() {
+	var (
+		machName  = flag.String("machine", "XeonE5", "machine: XeonE5 or KNL")
+		primName  = flag.String("primitive", "FAA", "primitive: CAS, FAA, SWAP, TAS, Load, Store")
+		threads   = flag.Int("threads", 8, "number of threads")
+		placeName = flag.String("placement", "compact", "placement: compact, scatter, smt-first, socket-0")
+		workStr   = flag.String("work", "0s", "local work between ops (Go duration, e.g. 200ns)")
+		compare   = flag.Bool("compare", false, "also run the simulator and report error")
+		lowMode   = flag.Bool("low", false, "predict the low-contention (private lines) setting")
+	)
+	flag.Parse()
+
+	m, err := machine.ByName(*machName)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := atomics.Parse(*primName)
+	if err != nil {
+		fatal(err)
+	}
+	pl, err := machine.PlacementByName(*placeName)
+	if err != nil {
+		fatal(err)
+	}
+	workDur, err := time.ParseDuration(*workStr)
+	if err != nil {
+		fatal(fmt.Errorf("bad -work: %w", err))
+	}
+	work := sim.Time(workDur.Nanoseconds()) * sim.Nanosecond
+
+	slots, err := pl.Place(m, *threads)
+	if err != nil {
+		fatal(err)
+	}
+	cores := make([]int, *threads)
+	for i, s := range slots {
+		cores[i] = m.CoreOf(s)
+	}
+
+	det := core.NewDetailed(m)
+	simple, cal, err := core.Calibrate(m)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("machine:    %s\n", m)
+	fmt.Printf("primitive:  %s, threads: %d, placement: %s, work: %v\n", p, *threads, pl.Name(), workDur)
+	fmt.Printf("calibrated: %s\n\n", cal)
+
+	var pd, ps core.Prediction
+	if *lowMode {
+		pd = det.PredictLow(p, *threads, work)
+		ps = simple.PredictLow(p, *threads, work)
+	} else {
+		pd = det.PredictHigh(p, cores, work)
+		ps = simple.PredictHigh(p, cores, work)
+	}
+	printPred("detailed model", pd)
+	printPred("simple model", ps)
+
+	if *compare {
+		mode := workload.HighContention
+		if *lowMode {
+			mode = workload.LowContention
+		}
+		res, err := workload.Run(workload.Config{
+			Machine: m, Threads: *threads, Primitive: p, Mode: mode,
+			Placement: pl, LocalWork: work,
+			Warmup: 25 * sim.Microsecond, Duration: 400 * sim.Microsecond, Seed: 42,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("simulator:\n")
+		fmt.Printf("  throughput:   %8.2f Mops (detailed model error %+.1f%%)\n",
+			res.ThroughputMops, 100*(pd.ThroughputMops-res.ThroughputMops)/res.ThroughputMops)
+		fmt.Printf("  mean latency: %8.1f ns\n", res.Latency.Mean().Nanoseconds())
+		fmt.Printf("  success rate: %8.3f\n", res.SuccessRate())
+		fmt.Printf("  Jain index:   %8.3f\n", res.Jain)
+		fmt.Printf("  energy/op:    %8.1f nJ\n", res.Energy.PerOpNJ)
+	}
+}
+
+func printPred(name string, p core.Prediction) {
+	fmt.Printf("%s:\n", name)
+	fmt.Printf("  service time: %8.1f ns\n", p.ServiceTime.Nanoseconds())
+	fmt.Printf("  throughput:   %8.2f Mops (attempts %.2f Mops)\n", p.ThroughputMops, p.AttemptsMops)
+	fmt.Printf("  mean latency: %8.1f ns\n", p.AttemptLatency.Nanoseconds())
+	fmt.Printf("  success rate: %8.3f\n", p.SuccessRate)
+	fmt.Printf("  Jain index:   %8.3f\n", p.Jain)
+	fmt.Printf("  energy/op:    %8.1f nJ\n\n", p.EnergyPerOpNJ)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atomicmodel:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Command atomicsim regenerates the paper's tables and figures on the
+// simulated machines.
+//
+// Usage:
+//
+//	atomicsim                     # run every experiment on both machines
+//	atomicsim -exp F3             # one experiment
+//	atomicsim -machine KNL        # restrict the machine
+//	atomicsim -quick              # trimmed sweeps for a fast look
+//	atomicsim -csv results/       # additionally write one CSV per table
+//	atomicsim -list               # list experiment IDs and claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"atomicsmodel/internal/harness"
+	"atomicsmodel/internal/machine"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "", "comma-separated experiment IDs to run (default: all)")
+		machs   = flag.String("machine", "", "comma-separated machines: XeonE5,KNL (default: both)")
+		quick   = flag.Bool("quick", false, "trimmed sweeps and shorter simulated durations")
+		seed    = flag.Uint64("seed", 42, "base random seed")
+		csvDir  = flag.String("csv", "", "directory to write per-table CSV files into")
+		doPlot  = flag.Bool("plot", false, "render ASCII charts for figure-shaped tables")
+		logY    = flag.Bool("logy", false, "use a logarithmic Y axis for plots")
+		listIDs = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *listIDs {
+		for _, e := range harness.All() {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	opts := harness.Options{Quick: *quick, Seed: *seed}
+	if *machs != "" {
+		for _, name := range strings.Split(*machs, ",") {
+			m, err := machine.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			opts.Machines = append(opts.Machines, m)
+		}
+	}
+
+	var exps []*harness.Experiment
+	if *expID != "" {
+		for _, id := range strings.Split(*expID, ",") {
+			e, err := harness.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			exps = append(exps, e)
+		}
+	} else {
+		exps = harness.All()
+	}
+
+	for _, e := range exps {
+		fmt.Printf("== %s: %s\n   claim: %s\n\n", e.ID, e.Title, e.Claim)
+		tables, err := e.Run(opts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		for i, t := range tables {
+			if err := t.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			if *doPlot {
+				if c, ok := harness.ChartFromTable(t); ok {
+					c.LogY = *logY
+					if err := c.Render(os.Stdout); err != nil {
+						fatal(err)
+					}
+					fmt.Println()
+				}
+			}
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, e.ID, i, t); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func writeCSV(dir, id string, idx int, t *harness.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s_%d.csv", id, idx)
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.CSV(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atomicsim:", err)
+	os.Exit(1)
+}

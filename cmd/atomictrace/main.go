@@ -1,0 +1,106 @@
+// Command atomictrace records the coherence-level life of the hot cache
+// line during a contended run and dumps it as CSV — one row per access
+// with its timestamp, core, transaction kind, data source, hop count
+// and latency — plus a bouncing summary and per-core ownership shares
+// on stderr. Feed the CSV to any plotting tool to watch the line move.
+//
+// Usage:
+//
+//	atomictrace -machine XeonE5 -primitive FAA -threads 8 -ops 200
+//	atomictrace -machine KNL -primitive CAS -threads 16 -ops 500 > trace.csv
+//	atomictrace -arbiter locality -threads 16          # watch a monopoly form
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/sim"
+	"atomicsmodel/internal/trace"
+)
+
+func main() {
+	var (
+		machName = flag.String("machine", "XeonE5", "machine: XeonE5 or KNL")
+		primName = flag.String("primitive", "FAA", "primitive to trace")
+		threads  = flag.Int("threads", 8, "number of contending threads")
+		ops      = flag.Int("ops", 200, "operations per thread to trace")
+		arbName  = flag.String("arbiter", "fifo", "line arbitration: fifo, random, locality")
+	)
+	flag.Parse()
+
+	m, err := machine.ByName(*machName)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := atomics.Parse(*primName)
+	if err != nil {
+		fatal(err)
+	}
+	var arb coherence.Arbiter
+	switch *arbName {
+	case "fifo":
+		arb = coherence.FIFOArbiter{}
+	case "random":
+		arb = coherence.NewRandomArbiter(42)
+	case "locality":
+		arb = &coherence.LocalityArbiter{}
+	default:
+		fatal(fmt.Errorf("unknown arbiter %q", *arbName))
+	}
+	slots, err := (machine.Compact{}).Place(m, *threads)
+	if err != nil {
+		fatal(err)
+	}
+
+	eng := sim.NewEngine()
+	mem, err := atomics.NewMemory(eng, m, arb)
+	if err != nil {
+		fatal(err)
+	}
+
+	const hot coherence.LineID = 1
+	rec := trace.NewRecorder(hot, 0)
+	mem.System().SetTracer(rec.Observe)
+
+	rng := sim.NewRNG(42)
+	for i := 0; i < *threads; i++ {
+		core := m.CoreOf(slots[i])
+		var issue func(remaining int)
+		issue = func(remaining int) {
+			if remaining == 0 {
+				return
+			}
+			mem.Do(p, core, hot, 1, 2, func(atomics.Result) { issue(remaining - 1) })
+		}
+		left := *ops
+		eng.Schedule(rng.Duration(10*sim.Nanosecond), func() { issue(left) })
+	}
+	eng.Drain()
+
+	if err := rec.WriteCSV(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	s := rec.Summarize()
+	fmt.Fprintf(os.Stderr, "summary: %d accesses, %d RMWs, %d transfers, mean run %.2f (max %d), mean hops %.1f, cross-socket %.0f%%, mean gap %.1fns\n",
+		s.Accesses, s.RMWs, s.Transfers, s.MeanRun, s.MaxRun, s.MeanHops, s.CrossFraction*100, s.MeanGap.Nanoseconds())
+	fmt.Fprintf(os.Stderr, "ownership shares:")
+	for i, sh := range rec.OwnershipShares() {
+		if i == 8 {
+			fmt.Fprintf(os.Stderr, " …")
+			break
+		}
+		fmt.Fprintf(os.Stderr, " core%d=%.0f%%", sh.Core, sh.Share*100)
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atomictrace:", err)
+	os.Exit(1)
+}

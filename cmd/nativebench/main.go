@@ -1,0 +1,88 @@
+// Command nativebench runs the microbenchmarks on the host CPU with
+// sync/atomic, for qualitative comparison against the simulator (see
+// internal/native for why host runs are qualitative only under Go).
+//
+// Usage:
+//
+//	nativebench                          # sweep threads for every primitive
+//	nativebench -threads 8 -primitive CAS
+//	nativebench -low                     # private-counter (low contention) mode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/native"
+)
+
+func main() {
+	var (
+		threads  = flag.Int("threads", 0, "thread count (0 = sweep 1,2,4,..,NumCPU)")
+		primName = flag.String("primitive", "", "primitive (default: sweep CAS,FAA,SWAP,Load,Store)")
+		durStr   = flag.String("duration", "200ms", "measurement duration per point")
+		low      = flag.Bool("low", false, "low-contention (private lines) mode")
+		pin      = flag.Bool("pin", true, "lock goroutines to OS threads")
+	)
+	flag.Parse()
+
+	dur, err := time.ParseDuration(*durStr)
+	if err != nil {
+		fatal(err)
+	}
+	mode := native.HighContention
+	if *low {
+		mode = native.LowContention
+	}
+
+	prims := []atomics.Primitive{atomics.CAS, atomics.FAA, atomics.SWAP, atomics.Load, atomics.Store}
+	if *primName != "" {
+		p, err := atomics.Parse(*primName)
+		if err != nil {
+			fatal(err)
+		}
+		prims = []atomics.Primitive{p}
+	}
+
+	var sweep []int
+	if *threads > 0 {
+		sweep = []int{*threads}
+	} else {
+		for n := 1; n <= runtime.NumCPU(); n *= 2 {
+			sweep = append(sweep, n)
+		}
+	}
+
+	fmt.Printf("host: %d CPUs, GOMAXPROCS=%d, mode=%v, duration=%v\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0), modeName(mode), dur)
+	fmt.Println("caveat: Go cannot pin to specific cores; treat shapes, not absolutes")
+	fmt.Printf("%-8s %8s %12s %10s %8s %10s\n", "prim", "threads", "Mops", "success", "Jain", "failures")
+	for _, p := range prims {
+		for _, n := range sweep {
+			res, err := native.Run(native.Config{
+				Threads: n, Primitive: p, Mode: mode, Duration: dur, Pin: *pin,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-8s %8d %12.2f %10.3f %8.3f %10d\n",
+				p, n, res.ThroughputMops, res.SuccessRate, res.Jain, res.Failures)
+		}
+	}
+}
+
+func modeName(m native.Mode) string {
+	if m == native.LowContention {
+		return "low-contention"
+	}
+	return "high-contention"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nativebench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+package atomicsmodel_test
+
+import (
+	"fmt"
+
+	"atomicsmodel"
+)
+
+// The simulator is fully deterministic, so these examples double as
+// regression tests on the whole stack: changing any machine constant or
+// protocol rule changes their output.
+
+func ExampleRunWorkload() {
+	res, err := atomicsmodel.RunWorkload(atomicsmodel.WorkloadConfig{
+		Machine:   atomicsmodel.XeonE5(),
+		Threads:   16,
+		Primitive: atomicsmodel.FAA,
+		Mode:      atomicsmodel.HighContention,
+		Seed:      42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("throughput %.1f Mops, mean latency %.0f ns, Jain %.2f\n",
+		res.ThroughputMops, res.Latency.Mean().Nanoseconds(), res.Jain)
+	// Output: throughput 30.8 Mops, mean latency 520 ns, Jain 1.00
+}
+
+func ExampleModel_PredictHigh() {
+	m := atomicsmodel.XeonE5()
+	model := atomicsmodel.NewModel(m)
+	cores, err := atomicsmodel.PlaceCompact(m, 16)
+	if err != nil {
+		panic(err)
+	}
+	faa := model.PredictHigh(atomicsmodel.FAA, cores, 0)
+	cas := model.PredictHigh(atomicsmodel.CAS, cores, 0)
+	fmt.Printf("FAA %.1f Mops, CAS %.1f Mops (success rate %.3f)\n",
+		faa.ThroughputMops, cas.ThroughputMops, cas.SuccessRate)
+	// Output: FAA 30.5 Mops, CAS 1.9 Mops (success rate 0.062)
+}
+
+func ExampleMeasureStateLatency() {
+	m := atomicsmodel.KNL()
+	local, err := atomicsmodel.MeasureStateLatency(m, atomicsmodel.FAA, 0) // StateModifiedLocal
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("owned-line FAA on KNL: %.1f ns\n", local.Nanoseconds())
+	// Output: owned-line FAA on KNL: 26.2 ns
+}
+
+func ExampleCalibrateModel() {
+	_, cal, err := atomicsmodel.CalibrateModel(atomicsmodel.XeonE5())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("t_local %.1f ns, t_same %.1f ns, t_cross %.1f ns\n",
+		cal.TLocal.Nanoseconds(), cal.TSame.Nanoseconds(), cal.TCross.Nanoseconds())
+	// Output: t_local 8.7 ns, t_same 37.5 ns, t_cross 115.0 ns
+}
+
+func ExampleModel_PredictAlgorithm() {
+	m := atomicsmodel.XeonE5()
+	model := atomicsmodel.NewModel(m)
+	cores, err := atomicsmodel.PlaceCompact(m, 16)
+	if err != nil {
+		panic(err)
+	}
+	// A CAS-loop counter: one retried CAS on the hot line per increment.
+	pred, err := model.PredictAlgorithm([]atomicsmodel.AlgoStep{
+		{Primitive: atomicsmodel.CAS, Line: 0, Retry: true},
+	}, cores, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("CAS-loop counter at 16 threads: %.1f M increments/s\n", pred.ThroughputMops)
+	// Output: CAS-loop counter at 16 threads: 1.9 M increments/s
+}

@@ -1,0 +1,57 @@
+// Modelsweep: the "use the model in practice" workflow. Calibrate the
+// three-constant simple model with probe runs (on real hardware these
+// would be three tiny microbenchmarks), then print a full design-space
+// sweep — primitives × thread counts — from the model alone, with no
+// further simulation or measurement. This is the paper's pitch: once
+// calibrated, algorithmic design decisions come from arithmetic.
+//
+//	go run ./examples/modelsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atomicsmodel"
+)
+
+func main() {
+	for _, m := range atomicsmodel.Machines() {
+		simple, cal, err := atomicsmodel.CalibrateModel(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		detailed := atomicsmodel.NewModel(m)
+		fmt.Printf("== %s\ncalibration: %s\n\n", m, cal)
+
+		prims := []atomicsmodel.Primitive{
+			atomicsmodel.FAA, atomicsmodel.CAS, atomicsmodel.SWAP, atomicsmodel.CAS2,
+		}
+		fmt.Printf("%8s", "threads")
+		for _, p := range prims {
+			fmt.Printf(" %9s %9s", p.String()+"/det", p.String()+"/sim")
+		}
+		fmt.Println(" (successful Mops; det = detailed model, sim = simple model)")
+		for _, n := range []int{1, 2, 4, 8, 16, 32} {
+			if n > m.NumHWThreads() {
+				break
+			}
+			cores, err := atomicsmodel.PlaceCompact(m, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%8d", n)
+			for _, p := range prims {
+				d := detailed.PredictHigh(p, cores, 0)
+				s := simple.PredictHigh(p, cores, 0)
+				fmt.Printf(" %9.2f %9.2f", d.ThroughputMops, s.ThroughputMops)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("decision rules the sweep yields:")
+	fmt.Println(" - a hot counter wants FAA (CAS pays ~N attempts per update);")
+	fmt.Println(" - CAS2's wider lock is a constant factor, not a scaling problem;")
+	fmt.Println(" - past a handful of threads, adding more buys nothing: split the line instead.")
+}

@@ -1,0 +1,52 @@
+// Quickstart: measure a contended fetch-and-add on the simulated Xeon
+// E5, compare it with the model's prediction, and print the numbers a
+// first-time user wants to see.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atomicsmodel"
+)
+
+func main() {
+	m := atomicsmodel.XeonE5()
+	fmt.Println("machine:", m)
+
+	// Simulate 16 threads hammering one cache line with FAA.
+	res, err := atomicsmodel.RunWorkload(atomicsmodel.WorkloadConfig{
+		Machine:   m,
+		Threads:   16,
+		Primitive: atomicsmodel.FAA,
+		Mode:      atomicsmodel.HighContention,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated:  %.1f Mops, mean latency %.0f ns, Jain %.3f, %.0f nJ/op\n",
+		res.ThroughputMops, res.Latency.Mean().Nanoseconds(), res.Jain, res.Energy.PerOpNJ)
+
+	// Ask the model for the same configuration — no simulation needed.
+	model := atomicsmodel.NewModel(m)
+	cores, err := atomicsmodel.PlaceCompact(m, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred := model.PredictHigh(atomicsmodel.FAA, cores, 0)
+	fmt.Printf("model:      %.1f Mops, mean latency %.0f ns, Jain %.3f, %.0f nJ/op\n",
+		pred.ThroughputMops, pred.AttemptLatency.Nanoseconds(), pred.Jain, pred.EnergyPerOpNJ)
+
+	// The single-thread baseline shows what contention costs.
+	solo, err := atomicsmodel.RunWorkload(atomicsmodel.WorkloadConfig{
+		Machine: m, Threads: 1, Primitive: atomicsmodel.FAA,
+		Mode: atomicsmodel.HighContention,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1 thread:   %.1f Mops, latency %.0f ns (the uncontended cost of a locked op)\n",
+		solo.ThroughputMops, solo.Latency.Mean().Nanoseconds())
+}

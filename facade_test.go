@@ -1,0 +1,95 @@
+package atomicsmodel_test
+
+import (
+	"testing"
+
+	"atomicsmodel"
+)
+
+// Facade surface tests: every re-exported entry point is reachable and
+// consistent with the internal packages it fronts.
+
+func TestFacadeMachines(t *testing.T) {
+	ms := atomicsmodel.Machines()
+	if len(ms) != 2 {
+		t.Fatalf("Machines() = %d entries", len(ms))
+	}
+	if atomicsmodel.XeonE5().Name != "XeonE5" || atomicsmodel.KNL().Name != "KNL" {
+		t.Fatal("machine constructors")
+	}
+	m, err := atomicsmodel.MachineByName("knl")
+	if err != nil || m.Name != "KNL" {
+		t.Fatalf("MachineByName: %v %v", m, err)
+	}
+	if _, err := atomicsmodel.MachineByName("bogus"); err == nil {
+		t.Fatal("bogus machine accepted")
+	}
+}
+
+func TestFacadePrimitives(t *testing.T) {
+	for _, p := range []atomicsmodel.Primitive{
+		atomicsmodel.CAS, atomicsmodel.FAA, atomicsmodel.SWAP,
+		atomicsmodel.TAS, atomicsmodel.CAS2, atomicsmodel.Load, atomicsmodel.Store,
+	} {
+		q, err := atomicsmodel.ParsePrimitive(p.String())
+		if err != nil || q != p {
+			t.Errorf("round trip %v failed", p)
+		}
+	}
+}
+
+func TestFacadePlaceCompact(t *testing.T) {
+	m := atomicsmodel.XeonE5()
+	cores, err := atomicsmodel.PlaceCompact(m, 4)
+	if err != nil || len(cores) != 4 {
+		t.Fatalf("PlaceCompact: %v %v", cores, err)
+	}
+	if _, err := atomicsmodel.PlaceCompact(m, 1000); err == nil {
+		t.Fatal("oversubscription accepted")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(atomicsmodel.Experiments()) < 14 {
+		t.Fatal("experiment registry too small")
+	}
+	e, err := atomicsmodel.ExperimentByID("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(atomicsmodel.ExperimentOptions{Quick: true})
+	if err != nil || len(tables) == 0 {
+		t.Fatalf("T1 via facade: %v %v", tables, err)
+	}
+}
+
+func TestFacadeNative(t *testing.T) {
+	res, err := atomicsmodel.RunNative(atomicsmodel.NativeConfig{
+		Threads: 2, Primitive: atomicsmodel.FAA, Duration: 10_000_000, // 10ms
+	})
+	if err != nil || res.Ops == 0 {
+		t.Fatalf("RunNative: %+v %v", res, err)
+	}
+}
+
+func TestFacadeModelAndCalibration(t *testing.T) {
+	m := atomicsmodel.KNL()
+	det := atomicsmodel.NewModel(m)
+	if det.Machine() != m {
+		t.Fatal("model machine")
+	}
+	simple, cal, err := atomicsmodel.CalibrateModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.TLocal <= 0 || simple == nil {
+		t.Fatal("calibration empty")
+	}
+}
+
+func TestFacadeTimeConstants(t *testing.T) {
+	if atomicsmodel.Microsecond != 1000*atomicsmodel.Nanosecond ||
+		atomicsmodel.Second != 1000*atomicsmodel.Millisecond {
+		t.Fatal("time constants inconsistent")
+	}
+}

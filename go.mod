@@ -1,0 +1,3 @@
+module atomicsmodel
+
+go 1.22

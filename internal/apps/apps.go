@@ -1,0 +1,347 @@
+// Package apps builds the classic concurrent algorithms whose design
+// choices the paper's model is meant to inform, on top of the simulated
+// atomic primitives: FAA-based versus CAS-loop counters, a Treiber
+// stack, and TAS / TTAS / ticket spinlocks. Running them on the same
+// coherence substrate as the microbenchmarks lets the experiments show
+// that the model's primitive-level predictions (FAA beats CAS under
+// contention; TTAS spins locally while TAS storms the line; tickets are
+// FIFO-fair) carry over to algorithm-level throughput and fairness.
+package apps
+
+import (
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/sim"
+)
+
+// Well-known line IDs used by the applications. They are spread apart
+// so their directory homes differ.
+const (
+	counterLine coherence.LineID = 10
+	topLine     coherence.LineID = 30
+	lockLine    coherence.LineID = 50
+	ticketLine  coherence.LineID = 70
+	servingLine coherence.LineID = 90
+	dataLine    coherence.LineID = 110
+	nodeBase    coherence.LineID = 1 << 20
+)
+
+// Thread is the per-worker context handed to an App step.
+type Thread struct {
+	ID   int
+	Core int
+	RNG  *sim.RNG
+
+	// lastSeen caches the last observed value of the app's CAS target,
+	// the usual optimization in retry loops.
+	lastSeen uint64
+}
+
+// App is one concurrent algorithm. Step performs a single high-level
+// operation (an increment, a push/pop, an acquire-release cycle) for
+// the given thread and invokes done exactly once when it completes.
+type App interface {
+	Name() string
+	Step(th *Thread, done func())
+}
+
+// FAACounter increments a shared counter with one fetch-and-add.
+type FAACounter struct {
+	mem *atomics.Memory
+}
+
+// NewFAACounter returns the FAA-based counter.
+func NewFAACounter(mem *atomics.Memory) *FAACounter { return &FAACounter{mem: mem} }
+
+func (c *FAACounter) Name() string { return "counter-faa" }
+
+func (c *FAACounter) Step(th *Thread, done func()) {
+	c.mem.FetchAndAdd(th.Core, counterLine, 1, func(atomics.Result) { done() })
+}
+
+// Value returns the counter's current value (for correctness checks).
+func (c *FAACounter) Value() uint64 { return c.mem.System().Value(counterLine) }
+
+// CASCounter increments a shared counter with the classic CAS retry
+// loop (read value, CAS value -> value+1, retry on failure). This is
+// the design the model tells you to avoid under contention.
+type CASCounter struct {
+	mem *atomics.Memory
+}
+
+// NewCASCounter returns the CAS-loop counter.
+func NewCASCounter(mem *atomics.Memory) *CASCounter { return &CASCounter{mem: mem} }
+
+func (c *CASCounter) Name() string { return "counter-cas" }
+
+func (c *CASCounter) Step(th *Thread, done func()) {
+	expected := th.lastSeen
+	c.mem.CompareAndSwap(th.Core, counterLine, expected, expected+1, func(r atomics.Result) {
+		if r.OK {
+			th.lastSeen = expected + 1
+			done()
+			return
+		}
+		th.lastSeen = r.Old
+		c.Step(th, done) // retry with the freshly observed value
+	})
+}
+
+// Value returns the counter's current value.
+func (c *CASCounter) Value() uint64 { return c.mem.System().Value(counterLine) }
+
+// TreiberStack is the classic lock-free stack: a CAS loop on the top
+// pointer, with each node on its own cache line. Each Step performs a
+// push or a pop (50/50), so the stack stays near its initial depth.
+type TreiberStack struct {
+	mem     *atomics.Memory
+	nextID  uint64
+	pushes  uint64
+	pops    uint64
+	empties uint64
+}
+
+// NewTreiberStack returns a stack pre-seeded with depth nodes so pops
+// do not immediately hit empty.
+func NewTreiberStack(mem *atomics.Memory, depth int) *TreiberStack {
+	s := &TreiberStack{mem: mem, nextID: 1}
+	top := uint64(0)
+	for i := 0; i < depth; i++ {
+		id := s.nextID
+		s.nextID++
+		mem.System().SetValue(nodeBase+coherence.LineID(id), top)
+		top = id
+	}
+	mem.System().SetValue(topLine, top)
+	return s
+}
+
+func (s *TreiberStack) Name() string { return "treiber-stack" }
+
+// Stats reports operation counts (pushes, pops, empty pops).
+func (s *TreiberStack) Stats() (pushes, pops, empties uint64) {
+	return s.pushes, s.pops, s.empties
+}
+
+func (s *TreiberStack) nodeLine(id uint64) coherence.LineID {
+	return nodeBase + coherence.LineID(id)
+}
+
+// alloc hands out the next node ID (allocation is not simulated; the
+// node's line write is).
+func (s *TreiberStack) alloc() uint64 {
+	id := s.nextID
+	s.nextID++
+	return id
+}
+
+func (s *TreiberStack) Step(th *Thread, done func()) {
+	if th.RNG.Float64() < 0.5 {
+		s.push(th, done)
+	} else {
+		s.pop(th, done)
+	}
+}
+
+func (s *TreiberStack) push(th *Thread, done func()) {
+	id := s.alloc()
+	var attempt func(oldTop uint64)
+	attempt = func(oldTop uint64) {
+		// Write node.next = oldTop (the node line is private until the
+		// CAS publishes it).
+		s.mem.StoreOp(th.Core, s.nodeLine(id), oldTop, func(atomics.Result) {
+			s.mem.CompareAndSwap(th.Core, topLine, oldTop, id, func(r atomics.Result) {
+				if r.OK {
+					s.pushes++
+					done()
+					return
+				}
+				attempt(r.Old)
+			})
+		})
+	}
+	// Seed the first attempt with the thread's cached view of top.
+	attempt(th.lastSeen)
+}
+
+func (s *TreiberStack) pop(th *Thread, done func()) {
+	s.mem.LoadOp(th.Core, topLine, func(r atomics.Result) {
+		top := r.Old
+		if top == 0 {
+			s.empties++
+			done() // empty pop still counts as a completed operation
+			return
+		}
+		// Read the node to find its successor — this line may be dirty
+		// in the pusher's cache, which is exactly the traffic pattern
+		// that makes stacks expensive under contention.
+		s.mem.LoadOp(th.Core, s.nodeLine(top), func(rn atomics.Result) {
+			next := rn.Old
+			s.mem.CompareAndSwap(th.Core, topLine, top, next, func(rc atomics.Result) {
+				if rc.OK {
+					th.lastSeen = next
+					s.pops++
+					done()
+					return
+				}
+				th.lastSeen = rc.Old
+				s.pop(th, done)
+			})
+		})
+	})
+}
+
+// Lock abstracts a spinlock for the lock comparison experiments. An
+// acquire-release cycle with a critical-section update of a shared data
+// line is one Step.
+type lockApp struct {
+	name    string
+	mem     *atomics.Memory
+	crit    sim.Time
+	eng     *sim.Engine
+	acquire func(th *Thread, locked func())
+	release func(th *Thread, released func())
+}
+
+func (l *lockApp) Name() string { return l.name }
+
+func (l *lockApp) Step(th *Thread, done func()) {
+	l.acquire(th, func() {
+		// Critical section: update the protected data, hold, release.
+		l.mem.FetchAndAdd(th.Core, dataLine, 1, func(atomics.Result) {
+			finish := func() { l.release(th, done) }
+			if l.crit > 0 {
+				l.eng.Schedule(l.crit, finish)
+			} else {
+				finish()
+			}
+		})
+	})
+}
+
+// NewTASLock returns a test-and-set spinlock: every acquisition attempt
+// is an RFO on the lock line (the line-bouncing worst case).
+func NewTASLock(eng *sim.Engine, mem *atomics.Memory, crit sim.Time) App {
+	l := &lockApp{name: "lock-tas", mem: mem, crit: crit, eng: eng}
+	l.acquire = func(th *Thread, locked func()) {
+		var spin func()
+		spin = func() {
+			mem.TestAndSet(th.Core, lockLine, func(r atomics.Result) {
+				if r.Old == 0 {
+					locked()
+					return
+				}
+				spin()
+			})
+		}
+		spin()
+	}
+	l.release = func(th *Thread, released func()) {
+		mem.StoreOp(th.Core, lockLine, 0, func(atomics.Result) { released() })
+	}
+	return l
+}
+
+// NewTTASLock returns a test-and-test-and-set spinlock: waiters spin on
+// local shared copies (reads) and only attempt the RFO when the lock
+// looks free — the model-guided fix for TAS.
+func NewTTASLock(eng *sim.Engine, mem *atomics.Memory, crit sim.Time) App {
+	l := &lockApp{name: "lock-ttas", mem: mem, crit: crit, eng: eng}
+	l.acquire = func(th *Thread, locked func()) {
+		var test func()
+		test = func() {
+			mem.LoadOp(th.Core, lockLine, func(r atomics.Result) {
+				if r.Old != 0 {
+					test() // spin on the shared copy
+					return
+				}
+				mem.TestAndSet(th.Core, lockLine, func(r2 atomics.Result) {
+					if r2.Old == 0 {
+						locked()
+						return
+					}
+					test()
+				})
+			})
+		}
+		test()
+	}
+	l.release = func(th *Thread, released func()) {
+		mem.StoreOp(th.Core, lockLine, 0, func(atomics.Result) { released() })
+	}
+	return l
+}
+
+// NewTTASBackoffLock returns a TTAS lock with capped exponential
+// backoff after failed acquisition attempts. Backoff is the classic
+// remedy for the post-release thundering herd: when K waiters see the
+// lock free at once, K-1 failing test-and-sets each cost a full line
+// transfer, so spacing retries out trades a little handoff latency for
+// far fewer bounces.
+func NewTTASBackoffLock(eng *sim.Engine, mem *atomics.Memory, crit, base, max sim.Time) App {
+	l := &lockApp{name: "lock-ttas-backoff", mem: mem, crit: crit, eng: eng}
+	l.acquire = func(th *Thread, locked func()) {
+		backoff := base
+		var test func()
+		test = func() {
+			mem.LoadOp(th.Core, lockLine, func(r atomics.Result) {
+				if r.Old != 0 {
+					test()
+					return
+				}
+				mem.TestAndSet(th.Core, lockLine, func(r2 atomics.Result) {
+					if r2.Old == 0 {
+						locked()
+						return
+					}
+					wait := th.RNG.Duration(backoff) + backoff/2
+					backoff *= 2
+					if backoff > max {
+						backoff = max
+					}
+					eng.Schedule(wait, test)
+				})
+			})
+		}
+		test()
+	}
+	l.release = func(th *Thread, released func()) {
+		mem.StoreOp(th.Core, lockLine, 0, func(atomics.Result) { released() })
+	}
+	return l
+}
+
+// NewTicketLock returns a ticket spinlock: one FAA takes a ticket, then
+// the thread spins reading the serving counter — FIFO-fair by
+// construction, which the fairness experiment demonstrates.
+func NewTicketLock(eng *sim.Engine, mem *atomics.Memory, crit sim.Time) App {
+	l := &lockApp{name: "lock-ticket", mem: mem, crit: crit, eng: eng}
+	l.acquire = func(th *Thread, locked func()) {
+		mem.FetchAndAdd(th.Core, ticketLine, 1, func(r atomics.Result) {
+			ticket := r.Old
+			var wait func()
+			wait = func() {
+				mem.LoadOp(th.Core, servingLine, func(rs atomics.Result) {
+					if rs.Old == ticket {
+						th.lastSeen = ticket
+						locked()
+						return
+					}
+					wait()
+				})
+			}
+			wait()
+		})
+	}
+	l.release = func(th *Thread, released func()) {
+		mem.StoreOp(th.Core, servingLine, th.lastSeen+1, func(atomics.Result) { released() })
+	}
+	return l
+}
+
+// DataValue returns the protected data line's value, for verifying
+// mutual exclusion delivered exactly one update per completed cycle.
+func DataValue(mem *atomics.Memory) uint64 { return mem.System().Value(dataLine) }
+
+// CounterValue returns the shared counter value.
+func CounterValue(mem *atomics.Memory) uint64 { return mem.System().Value(counterLine) }

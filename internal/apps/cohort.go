@@ -1,0 +1,124 @@
+package apps
+
+import (
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/sim"
+)
+
+const (
+	cohortGlobalLine coherence.LineID = 230
+	cohortLocalBase  coherence.LineID = 1 << 25
+)
+
+// CohortLock is the NUMA-aware lock the model's cross-socket numbers
+// motivate: a per-socket local TAS lock plus a global TAS lock. A
+// thread first wins its socket's lock, then the global one; on release
+// it prefers handing the global lock to a same-socket successor (by
+// releasing only the local lock while keeping the global one, up to a
+// handoff budget), so the lock's data lines cross QPI once per cohort
+// instead of once per critical section.
+type CohortLock struct {
+	mem  *atomics.Memory
+	eng  *sim.Engine
+	crit sim.Time
+	// MaxHandoffs bounds same-socket handoffs before the global lock
+	// must be surrendered (fairness across sockets).
+	MaxHandoffs int
+	socketOf    func(core int) int
+
+	cycles uint64
+	// handoffs counts same-socket passes of the global lock.
+	handoffs uint64
+	// globalHeldBy tracks which socket holds the global lock and how
+	// many local handoffs it has consumed (bookkeeping mirrors the
+	// simulated lock words; it never substitutes for them).
+	passCount int
+}
+
+// NewCohortLock builds the lock for machine-described socket mapping.
+func NewCohortLock(eng *sim.Engine, mem *atomics.Memory, socketOf func(core int) int, crit sim.Time, maxHandoffs int) *CohortLock {
+	if maxHandoffs < 1 {
+		maxHandoffs = 16
+	}
+	return &CohortLock{mem: mem, eng: eng, crit: crit, MaxHandoffs: maxHandoffs, socketOf: socketOf}
+}
+
+func (l *CohortLock) Name() string { return "lock-cohort" }
+
+// Handoffs reports same-socket global-lock passes (the cross-socket
+// traffic avoided).
+func (l *CohortLock) Handoffs() uint64 { return l.handoffs }
+
+func (l *CohortLock) localLine(socket int) coherence.LineID {
+	return cohortLocalBase + coherence.LineID(socket)*512
+}
+
+func (l *CohortLock) Step(th *Thread, done func()) {
+	socket := l.socketOf(th.Core)
+	l.acquireLocal(th, socket, func(globalHeld bool) {
+		finishCrit := func() {
+			l.cycles++
+			l.release(th, socket, done)
+		}
+		// Critical section: update shared data.
+		l.mem.FetchAndAdd(th.Core, dataLine, 1, func(atomics.Result) {
+			if l.crit > 0 {
+				l.eng.Schedule(l.crit, finishCrit)
+			} else {
+				finishCrit()
+			}
+		})
+		_ = globalHeld
+	})
+}
+
+// acquireLocal spins on the socket's local lock line; the winner checks
+// whether its cohort already owns the global lock (value == socket+1)
+// and otherwise acquires it.
+func (l *CohortLock) acquireLocal(th *Thread, socket int, locked func(globalHeld bool)) {
+	var spinLocal func()
+	spinLocal = func() {
+		l.mem.TestAndSet(th.Core, l.localLine(socket), func(r atomics.Result) {
+			if r.Old != 0 {
+				spinLocal()
+				return
+			}
+			// Local lock held. Does the cohort hold the global lock?
+			l.mem.LoadOp(th.Core, cohortGlobalLine, func(rg atomics.Result) {
+				if rg.Old == uint64(socket+1) {
+					locked(true) // inherited via local handoff
+					return
+				}
+				l.acquireGlobal(th, socket, locked)
+			})
+		})
+	}
+	spinLocal()
+}
+
+func (l *CohortLock) acquireGlobal(th *Thread, socket int, locked func(bool)) {
+	l.mem.CompareAndSwap(th.Core, cohortGlobalLine, 0, uint64(socket+1), func(r atomics.Result) {
+		if !r.OK {
+			l.acquireGlobal(th, socket, locked)
+			return
+		}
+		l.passCount = 0
+		locked(false)
+	})
+}
+
+// release hands off within the socket when the budget allows (keep the
+// global lock, free the local one), else surrenders both.
+func (l *CohortLock) release(th *Thread, socket int, done func()) {
+	l.passCount++
+	if l.passCount < l.MaxHandoffs {
+		l.handoffs++
+		l.mem.StoreOp(th.Core, l.localLine(socket), 0, func(atomics.Result) { done() })
+		return
+	}
+	// Surrender the global lock first, then the local one.
+	l.mem.StoreOp(th.Core, cohortGlobalLine, 0, func(atomics.Result) {
+		l.mem.StoreOp(th.Core, l.localLine(socket), 0, func(atomics.Result) { done() })
+	})
+}

@@ -1,0 +1,105 @@
+package apps
+
+import (
+	"testing"
+
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/sim"
+)
+
+func runCohort(t *testing.T, m *machine.Machine, threads, maxHandoffs int) (*CohortLock, *RunResult) {
+	t.Helper()
+	var lk *CohortLock
+	res, err := Run(RunConfig{
+		Machine: m, Threads: threads,
+		Build: func(e *sim.Engine, mem *atomics.Memory) App {
+			lk = NewCohortLock(e, mem, m.SocketOf, 50*sim.Nanosecond, maxHandoffs)
+			return lk
+		},
+		Warmup: 20 * sim.Microsecond, Duration: 250 * sim.Microsecond, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lk, res
+}
+
+func TestCohortMutualExclusion(t *testing.T) {
+	lk, res := runCohort(t, machine.XeonE5(), 12, 8)
+	// Every completed cycle incremented the data exactly once.
+	data := DataValue(lk.mem)
+	if data < res.TotalOps || data > res.TotalOps+12 {
+		t.Fatalf("data %d vs cycles %d: lost or duplicated updates", data, res.TotalOps)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no cycles")
+	}
+}
+
+func TestCohortHandsOffWithinSocket(t *testing.T) {
+	lk, _ := runCohort(t, machine.XeonE5(), 24, 16) // both sockets busy
+	if lk.Handoffs() == 0 {
+		t.Fatal("no same-socket handoffs under two-socket contention")
+	}
+}
+
+func TestCohortReducesCrossSocketTraffic(t *testing.T) {
+	// With 24 threads over two sockets, the cohort lock's whole point
+	// is fewer cross-socket transfers per cycle than a flat TAS lock.
+	m := machine.XeonE5()
+	crossPerOp := func(build func(e *sim.Engine, mem *atomics.Memory) App) float64 {
+		var mem *atomics.Memory
+		res, err := Run(RunConfig{
+			Machine: m, Threads: 24,
+			Build: func(e *sim.Engine, mm *atomics.Memory) App {
+				mem = mm
+				return build(e, mm)
+			},
+			Warmup: 20 * sim.Microsecond, Duration: 250 * sim.Microsecond, Seed: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalOps == 0 {
+			t.Fatal("no ops")
+		}
+		return float64(mem.System().Stats().CrossSocket) / float64(res.TotalOps)
+	}
+	tas := crossPerOp(func(e *sim.Engine, mem *atomics.Memory) App {
+		return NewTASLock(e, mem, 50*sim.Nanosecond)
+	})
+	cohort := crossPerOp(func(e *sim.Engine, mem *atomics.Memory) App {
+		var lk *CohortLock
+		lk = NewCohortLock(e, mem, m.SocketOf, 50*sim.Nanosecond, 16)
+		return lk
+	})
+	if cohort >= tas {
+		t.Fatalf("cohort cross-socket/op %.2f should be below TAS %.2f", cohort, tas)
+	}
+}
+
+func TestCohortSingleSocketDegeneratesGracefully(t *testing.T) {
+	// All threads on one socket: the global lock is acquired once and
+	// handed off locally; throughput must at least match plain TAS.
+	m := machine.XeonE5()
+	_, res := runCohort(t, m, 8, 64)
+	if res.Ops == 0 {
+		t.Fatal("no cycles single-socket")
+	}
+}
+
+func TestCohortHandoffBudgetBoundsUnfairness(t *testing.T) {
+	// A small budget forces regular global-lock surrender, letting the
+	// other socket in: per-socket op totals should both be nonzero.
+	m := machine.XeonE5()
+	_, res := runCohort(t, m, 24, 4)
+	var perSocket [2]uint64
+	for id, ops := range res.PerThreadOps {
+		// Compact placement: thread id == core for the first 36.
+		perSocket[m.SocketOf(id)] += ops
+	}
+	if perSocket[0] == 0 || perSocket[1] == 0 {
+		t.Fatalf("a socket starved despite the handoff budget: %v", perSocket)
+	}
+}

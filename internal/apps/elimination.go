@@ -1,0 +1,158 @@
+package apps
+
+import (
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/sim"
+)
+
+// Elimination slot states (values of the slot lines).
+const (
+	slotEmpty   uint64 = 0
+	slotPusher  uint64 = 1
+	slotMatched uint64 = 3
+)
+
+const elimBase coherence.LineID = 1 << 23
+
+// EliminationStack is a Treiber stack with an elimination array: when
+// the top CAS fails under contention, a push parks in a random
+// collision slot and a concurrent pop can consume it there, so the pair
+// completes without ever touching the hot top pointer. This is the
+// classic contention remedy the model motivates — it converts hot-line
+// bounces into traffic spread over many slot lines.
+type EliminationStack struct {
+	*TreiberStack
+	eng    *sim.Engine
+	mem    *atomics.Memory
+	slots  int
+	window sim.Time
+	elims  uint64
+}
+
+// NewEliminationStack returns an elimination stack seeded with depth
+// nodes, using the given number of collision slots and pusher wait
+// window.
+func NewEliminationStack(eng *sim.Engine, mem *atomics.Memory, depth, slots int, window sim.Time) *EliminationStack {
+	if slots < 1 {
+		slots = 1
+	}
+	if window <= 0 {
+		window = 200 * sim.Nanosecond
+	}
+	return &EliminationStack{
+		TreiberStack: NewTreiberStack(mem, depth),
+		eng:          eng,
+		mem:          mem,
+		slots:        slots,
+		window:       window,
+	}
+}
+
+func (s *EliminationStack) Name() string { return "elimination-stack" }
+
+// Eliminations reports how many operations completed via the array
+// (each exchange finishes one push and one pop).
+func (s *EliminationStack) Eliminations() uint64 { return s.elims }
+
+func (s *EliminationStack) slot(th *Thread) coherence.LineID {
+	return elimBase + coherence.LineID(th.RNG.Intn(s.slots))*256
+}
+
+func (s *EliminationStack) Step(th *Thread, done func()) {
+	if th.RNG.Float64() < 0.5 {
+		s.pushElim(th, done)
+	} else {
+		s.popElim(th, done)
+	}
+}
+
+// pushElim attempts one Treiber push; on CAS failure it tries to park
+// in a collision slot before retrying.
+func (s *EliminationStack) pushElim(th *Thread, done func()) {
+	id := s.alloc()
+	var attempt func(oldTop uint64)
+	attempt = func(oldTop uint64) {
+		s.mem.StoreOp(th.Core, s.nodeLine(id), oldTop, func(atomics.Result) {
+			s.mem.CompareAndSwap(th.Core, topLine, oldTop, id, func(r atomics.Result) {
+				if r.OK {
+					s.pushes++
+					done()
+					return
+				}
+				s.parkPush(th, r.Old, id, attempt, done)
+			})
+		})
+	}
+	attempt(th.lastSeen)
+}
+
+// parkPush parks a failed push in a slot for one window; a matching pop
+// eliminates it, otherwise the push withdraws and retries on the stack.
+func (s *EliminationStack) parkPush(th *Thread, freshTop, id uint64, retry func(uint64), done func()) {
+	slot := s.slot(th)
+	s.mem.CompareAndSwap(th.Core, slot, slotEmpty, slotPusher, func(r atomics.Result) {
+		if !r.OK {
+			// Slot busy: go straight back to the stack.
+			retry(freshTop)
+			return
+		}
+		s.eng.Schedule(s.window, func() {
+			s.mem.CompareAndSwap(th.Core, slot, slotPusher, slotEmpty, func(r2 atomics.Result) {
+				if r2.OK {
+					// No partner came: withdraw and retry on the stack.
+					retry(freshTop)
+					return
+				}
+				// A popper matched us (slot says so): reset the slot
+				// and finish — the pair never touched the top pointer.
+				s.mem.StoreOp(th.Core, slot, slotEmpty, func(atomics.Result) {
+					s.elims++
+					s.pushes++
+					done()
+				})
+			})
+		})
+	})
+}
+
+// popElim attempts one Treiber pop; on CAS failure it probes a slot for
+// a waiting pusher before retrying.
+func (s *EliminationStack) popElim(th *Thread, done func()) {
+	s.mem.LoadOp(th.Core, topLine, func(r atomics.Result) {
+		top := r.Old
+		if top == 0 {
+			s.empties++
+			done()
+			return
+		}
+		s.mem.LoadOp(th.Core, s.nodeLine(top), func(rn atomics.Result) {
+			next := rn.Old
+			s.mem.CompareAndSwap(th.Core, topLine, top, next, func(rc atomics.Result) {
+				if rc.OK {
+					th.lastSeen = next
+					s.pops++
+					done()
+					return
+				}
+				th.lastSeen = rc.Old
+				s.probePop(th, done)
+			})
+		})
+	})
+}
+
+// probePop checks one slot for a waiting pusher; a hit eliminates the
+// pair, a miss retries on the stack.
+func (s *EliminationStack) probePop(th *Thread, done func()) {
+	slot := s.slot(th)
+	s.mem.CompareAndSwap(th.Core, slot, slotPusher, slotMatched, func(r atomics.Result) {
+		if r.OK {
+			s.elims++
+			s.pops++
+			done()
+			return
+		}
+		s.popElim(th, done)
+	})
+}

@@ -1,0 +1,140 @@
+package apps
+
+import (
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/coherence"
+)
+
+// MS queue line layout. Node IDs index lines above qNodeBase; the value
+// stored in a node's line is its next pointer (0 = null).
+const (
+	headLine  coherence.LineID = 130
+	tailLine  coherence.LineID = 150
+	qNodeBase coherence.LineID = 1 << 21
+)
+
+// MSQueue is the Michael–Scott lock-free FIFO queue built on the
+// simulated CAS: two contended lines (head, tail) plus per-node lines.
+// Each Step performs an enqueue or a dequeue (50/50). Compared with the
+// Treiber stack it doubles the number of hot lines, which is exactly
+// the contrast the contention model prices.
+type MSQueue struct {
+	mem      *atomics.Memory
+	nextID   uint64
+	enqueues uint64
+	dequeues uint64
+	empties  uint64
+}
+
+// NewMSQueue returns a queue pre-seeded with depth elements (plus the
+// dummy node the algorithm requires).
+func NewMSQueue(mem *atomics.Memory, depth int) *MSQueue {
+	q := &MSQueue{mem: mem, nextID: 1}
+	dummy := q.alloc()
+	mem.System().SetValue(q.node(dummy), 0)
+	mem.System().SetValue(headLine, dummy)
+	tail := dummy
+	for i := 0; i < depth; i++ {
+		id := q.alloc()
+		mem.System().SetValue(q.node(id), 0)
+		mem.System().SetValue(q.node(tail), id)
+		tail = id
+	}
+	mem.System().SetValue(tailLine, tail)
+	return q
+}
+
+func (q *MSQueue) Name() string { return "ms-queue" }
+
+// Stats reports operation counts (enqueues, dequeues, empty dequeues).
+func (q *MSQueue) Stats() (enqueues, dequeues, empties uint64) {
+	return q.enqueues, q.dequeues, q.empties
+}
+
+func (q *MSQueue) alloc() uint64 {
+	id := q.nextID
+	q.nextID++
+	return id
+}
+
+func (q *MSQueue) node(id uint64) coherence.LineID {
+	return qNodeBase + coherence.LineID(id)
+}
+
+func (q *MSQueue) Step(th *Thread, done func()) {
+	if th.RNG.Float64() < 0.5 {
+		q.enqueue(th, done)
+	} else {
+		q.dequeue(th, done)
+	}
+}
+
+func (q *MSQueue) enqueue(th *Thread, done func()) {
+	id := q.alloc()
+	// Initialize the new node's next pointer (private line until
+	// published by the CAS on its predecessor).
+	q.mem.StoreOp(th.Core, q.node(id), 0, func(atomics.Result) {
+		q.enqueueLoop(th, id, done)
+	})
+}
+
+func (q *MSQueue) enqueueLoop(th *Thread, id uint64, done func()) {
+	q.mem.LoadOp(th.Core, tailLine, func(rt atomics.Result) {
+		tail := rt.Old
+		q.mem.LoadOp(th.Core, q.node(tail), func(rn atomics.Result) {
+			next := rn.Old
+			if next != 0 {
+				// Tail lags: help swing it, then retry.
+				q.mem.CompareAndSwap(th.Core, tailLine, tail, next, func(atomics.Result) {
+					q.enqueueLoop(th, id, done)
+				})
+				return
+			}
+			q.mem.CompareAndSwap(th.Core, q.node(tail), 0, id, func(rc atomics.Result) {
+				if !rc.OK {
+					q.enqueueLoop(th, id, done)
+					return
+				}
+				// Published; swing the tail (best effort — failure means
+				// someone helped already).
+				q.mem.CompareAndSwap(th.Core, tailLine, tail, id, func(atomics.Result) {
+					q.enqueues++
+					done()
+				})
+			})
+		})
+	})
+}
+
+func (q *MSQueue) dequeue(th *Thread, done func()) {
+	q.mem.LoadOp(th.Core, headLine, func(rh atomics.Result) {
+		head := rh.Old
+		q.mem.LoadOp(th.Core, tailLine, func(rt atomics.Result) {
+			tail := rt.Old
+			q.mem.LoadOp(th.Core, q.node(head), func(rn atomics.Result) {
+				next := rn.Old
+				if next == 0 {
+					// Empty (only the dummy remains).
+					q.empties++
+					done()
+					return
+				}
+				if head == tail {
+					// Tail lags behind a concurrent enqueue: help.
+					q.mem.CompareAndSwap(th.Core, tailLine, tail, next, func(atomics.Result) {
+						q.dequeue(th, done)
+					})
+					return
+				}
+				q.mem.CompareAndSwap(th.Core, headLine, head, next, func(rc atomics.Result) {
+					if !rc.OK {
+						q.dequeue(th, done)
+						return
+					}
+					q.dequeues++
+					done()
+				})
+			})
+		})
+	})
+}

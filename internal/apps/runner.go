@@ -1,0 +1,118 @@
+package apps
+
+import (
+	"fmt"
+
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/sim"
+	"atomicsmodel/internal/stats"
+)
+
+// RunConfig parameterizes an application benchmark.
+type RunConfig struct {
+	Machine   *machine.Machine
+	Arbiter   coherence.Arbiter // nil means FIFO
+	Placement machine.Placement // nil means Compact
+	Threads   int
+	// Build constructs the application once the simulated memory
+	// exists (apps need the memory to seed their data structures).
+	Build func(eng *sim.Engine, mem *atomics.Memory) App
+	// Warmup and Duration bound the run (defaults 20µs / 200µs).
+	Warmup   sim.Time
+	Duration sim.Time
+	Seed     uint64
+}
+
+// RunResult reports an application benchmark's measurements.
+type RunResult struct {
+	App            string
+	Threads        int
+	Ops            uint64
+	PerThreadOps   []uint64
+	Latency        *stats.Histogram
+	ThroughputMops float64
+	Jain, MinMax   float64
+	// Mem is the memory the app ran on, for post-run correctness
+	// checks (counter values, lock data).
+	Mem *atomics.Memory
+	// TotalOps counts operations completed over the whole run
+	// including warmup, for invariant checks against app state.
+	TotalOps uint64
+}
+
+// Run executes one application benchmark.
+func Run(cfg RunConfig) (*RunResult, error) {
+	if cfg.Machine == nil || cfg.Build == nil {
+		return nil, fmt.Errorf("apps: Machine and Build are required")
+	}
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("apps: Threads = %d", cfg.Threads)
+	}
+	if cfg.Placement == nil {
+		cfg.Placement = machine.Compact{}
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 20 * sim.Microsecond
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 200 * sim.Microsecond
+	}
+	slots, err := cfg.Placement.Place(cfg.Machine, cfg.Threads)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	mem, err := atomics.NewMemory(eng, cfg.Machine, cfg.Arbiter)
+	if err != nil {
+		return nil, err
+	}
+	app := cfg.Build(eng, mem)
+
+	end := cfg.Warmup + cfg.Duration
+	measuring := false
+	var ops, totalOps uint64
+	perOps := make([]uint64, cfg.Threads)
+	lat := stats.NewHistogram()
+
+	root := sim.NewRNG(cfg.Seed)
+	var loop func(th *Thread)
+	loop = func(th *Thread) {
+		if eng.Now() >= end {
+			return
+		}
+		start := eng.Now()
+		app.Step(th, func() {
+			totalOps++
+			if measuring && eng.Now() <= end {
+				ops++
+				perOps[th.ID]++
+				lat.Record(eng.Now() - start)
+			}
+			loop(th)
+		})
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		th := &Thread{ID: i, Core: cfg.Machine.CoreOf(slots[i]), RNG: root.Split()}
+		eng.Schedule(th.RNG.Duration(10*sim.Nanosecond), func() { loop(th) })
+	}
+	eng.At(cfg.Warmup, func() { measuring = true })
+	eng.Run(end)
+
+	if err := mem.System().CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("apps: coherence invariant violated: %w", err)
+	}
+	return &RunResult{
+		App:            app.Name(),
+		Threads:        cfg.Threads,
+		Ops:            ops,
+		PerThreadOps:   perOps,
+		Latency:        lat,
+		ThroughputMops: stats.Throughput(ops, cfg.Duration) / 1e6,
+		Jain:           stats.JainIndex(perOps),
+		MinMax:         stats.MinMaxRatio(perOps),
+		Mem:            mem,
+		TotalOps:       totalOps,
+	}, nil
+}

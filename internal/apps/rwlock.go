@@ -1,0 +1,238 @@
+package apps
+
+import (
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/sim"
+)
+
+const (
+	rwLockLine coherence.LineID = 170
+	rwDataLine coherence.LineID = 190
+	rwFlagLine coherence.LineID = 210
+	rwSlotBase coherence.LineID = 1 << 24
+)
+
+// rwCommon carries the pieces both reader-writer locks share: the mix,
+// the protected data, and exact overlap instrumentation. Because the
+// simulation is one event loop, the activeReaders/activeWriters
+// counters observe true simulated-time overlap — Violations counts
+// real mutual-exclusion breaches, not sampling artifacts.
+type rwCommon struct {
+	mem      *atomics.Memory
+	eng      *sim.Engine
+	readFrac float64
+	crit     sim.Time
+
+	activeReaders int
+	activeWriters int
+	violations    int
+	reads, writes uint64
+}
+
+func (c *rwCommon) enterRead() {
+	if c.activeWriters > 0 {
+		c.violations++
+	}
+	c.activeReaders++
+}
+
+func (c *rwCommon) exitRead() { c.activeReaders-- }
+
+func (c *rwCommon) enterWrite() {
+	if c.activeWriters > 0 || c.activeReaders > 0 {
+		c.violations++
+	}
+	c.activeWriters++
+}
+
+func (c *rwCommon) exitWrite() { c.activeWriters-- }
+
+// Violations reports observed mutual-exclusion breaches (must be 0).
+func (c *rwCommon) Violations() int { return c.violations }
+
+// Ops reports completed read and write sections.
+func (c *rwCommon) Ops() (reads, writes uint64) { return c.reads, c.writes }
+
+// criticalRead performs the protected read section then releases.
+func (c *rwCommon) criticalRead(th *Thread, release func(func()), done func()) {
+	c.enterRead()
+	c.mem.LoadOp(th.Core, rwDataLine, func(atomics.Result) {
+		finish := func() {
+			c.exitRead()
+			release(func() {
+				c.reads++
+				done()
+			})
+		}
+		if c.crit > 0 {
+			c.eng.Schedule(c.crit, finish)
+		} else {
+			finish()
+		}
+	})
+}
+
+// criticalWrite performs the protected update then releases.
+func (c *rwCommon) criticalWrite(th *Thread, release func(func()), done func()) {
+	c.enterWrite()
+	c.mem.FetchAndAdd(th.Core, rwDataLine, 1, func(atomics.Result) {
+		finish := func() {
+			c.exitWrite()
+			release(func() {
+				c.writes++
+				done()
+			})
+		}
+		if c.crit > 0 {
+			c.eng.Schedule(c.crit, finish)
+		} else {
+			finish()
+		}
+	})
+}
+
+// CentralRWLock is the textbook single-word reader-writer spinlock:
+// bit 0 is the writer flag, the upper bits count readers. Every reader
+// acquisition and release is an RMW on the one lock line, so a
+// read-mostly workload still bounces it — the design the model warns
+// about.
+type CentralRWLock struct {
+	rwCommon
+}
+
+// NewCentralRWLock returns the one-line reader-writer lock; readFrac of
+// the Steps are read sections, crit is the section length.
+func NewCentralRWLock(eng *sim.Engine, mem *atomics.Memory, readFrac float64, crit sim.Time) *CentralRWLock {
+	return &CentralRWLock{rwCommon{mem: mem, eng: eng, readFrac: readFrac, crit: crit}}
+}
+
+func (l *CentralRWLock) Name() string { return "rwlock-central" }
+
+func (l *CentralRWLock) Step(th *Thread, done func()) {
+	if th.RNG.Float64() < l.readFrac {
+		l.readAcquire(th, done)
+	} else {
+		l.writeAcquire(th, done)
+	}
+}
+
+func (l *CentralRWLock) readAcquire(th *Thread, done func()) {
+	l.mem.LoadOp(th.Core, rwLockLine, func(r atomics.Result) {
+		v := r.Old
+		if v&1 == 1 {
+			l.readAcquire(th, done) // writer active: spin on shared copy
+			return
+		}
+		l.mem.CompareAndSwap(th.Core, rwLockLine, v, v+2, func(rc atomics.Result) {
+			if !rc.OK {
+				l.readAcquire(th, done)
+				return
+			}
+			l.criticalRead(th, func(released func()) {
+				// Release: subtract 2 (add the two's complement).
+				l.mem.FetchAndAdd(th.Core, rwLockLine, ^uint64(1), func(atomics.Result) { released() })
+			}, done)
+		})
+	})
+}
+
+func (l *CentralRWLock) writeAcquire(th *Thread, done func()) {
+	l.mem.LoadOp(th.Core, rwLockLine, func(r atomics.Result) {
+		if r.Old != 0 {
+			l.writeAcquire(th, done) // busy: spin
+			return
+		}
+		l.mem.CompareAndSwap(th.Core, rwLockLine, 0, 1, func(rc atomics.Result) {
+			if !rc.OK {
+				l.writeAcquire(th, done)
+				return
+			}
+			l.criticalWrite(th, func(released func()) {
+				l.mem.StoreOp(th.Core, rwLockLine, 0, func(atomics.Result) { released() })
+			}, done)
+		})
+	})
+}
+
+// DistributedRWLock is the big-reader design: each thread announces
+// itself on its own cache line (readers never touch a shared line on
+// the fast path), and a writer raises a central flag then scans every
+// reader slot. Reads scale; writes pay O(threads) — the trade the
+// model prices via its private-vs-shared line distinction.
+type DistributedRWLock struct {
+	rwCommon
+	slots int
+}
+
+// NewDistributedRWLock returns the per-reader-slot lock for up to slots
+// reader threads (thread IDs index the slots).
+func NewDistributedRWLock(eng *sim.Engine, mem *atomics.Memory, slots int, readFrac float64, crit sim.Time) *DistributedRWLock {
+	return &DistributedRWLock{rwCommon{mem: mem, eng: eng, readFrac: readFrac, crit: crit}, slots}
+}
+
+func (l *DistributedRWLock) Name() string { return "rwlock-distributed" }
+
+func (l *DistributedRWLock) slot(id int) coherence.LineID {
+	return rwSlotBase + coherence.LineID(id)*512
+}
+
+func (l *DistributedRWLock) Step(th *Thread, done func()) {
+	if th.RNG.Float64() < l.readFrac {
+		l.readAcquire(th, done)
+	} else {
+		l.writeAcquire(th, done)
+	}
+}
+
+func (l *DistributedRWLock) readAcquire(th *Thread, done func()) {
+	l.mem.LoadOp(th.Core, rwFlagLine, func(r atomics.Result) {
+		if r.Old != 0 {
+			l.readAcquire(th, done) // writer present: spin on the flag
+			return
+		}
+		// Announce, then re-check the flag (Dekker-style handshake).
+		l.mem.StoreOp(th.Core, l.slot(th.ID), 1, func(atomics.Result) {
+			l.mem.LoadOp(th.Core, rwFlagLine, func(r2 atomics.Result) {
+				if r2.Old != 0 {
+					// A writer raced in: withdraw and retry.
+					l.mem.StoreOp(th.Core, l.slot(th.ID), 0, func(atomics.Result) {
+						l.readAcquire(th, done)
+					})
+					return
+				}
+				l.criticalRead(th, func(released func()) {
+					l.mem.StoreOp(th.Core, l.slot(th.ID), 0, func(atomics.Result) { released() })
+				}, done)
+			})
+		})
+	})
+}
+
+func (l *DistributedRWLock) writeAcquire(th *Thread, done func()) {
+	l.mem.TestAndSet(th.Core, rwFlagLine, func(r atomics.Result) {
+		if r.Old != 0 {
+			l.writeAcquire(th, done) // another writer holds the flag
+			return
+		}
+		l.scanSlots(th, 0, done)
+	})
+}
+
+// scanSlots waits for every announced reader to drain, then runs the
+// write section.
+func (l *DistributedRWLock) scanSlots(th *Thread, i int, done func()) {
+	if i == l.slots {
+		l.criticalWrite(th, func(released func()) {
+			l.mem.StoreOp(th.Core, rwFlagLine, 0, func(atomics.Result) { released() })
+		}, done)
+		return
+	}
+	l.mem.LoadOp(th.Core, l.slot(i), func(r atomics.Result) {
+		if r.Old != 0 {
+			l.scanSlots(th, i, done) // reader still inside: spin on its slot
+			return
+		}
+		l.scanSlots(th, i+1, done)
+	})
+}

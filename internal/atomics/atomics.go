@@ -1,0 +1,285 @@
+// Package atomics implements the semantics of the atomic primitives the
+// paper studies — CAS, FAA (fetch-and-add), SWAP (exchange), TAS
+// (test-and-set) — plus plain loads and stores, executed against the
+// simulated coherence protocol. Each primitive is a coherence
+// transaction (loads are Read; everything else is an RFO, because x86
+// locked instructions always take the line exclusive, even a CAS that
+// will fail) plus a machine-specific execution occupancy charged while
+// the line is held.
+package atomics
+
+import (
+	"fmt"
+
+	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/sim"
+)
+
+// Primitive enumerates the operations under study.
+type Primitive uint8
+
+const (
+	// CAS is compare-and-swap (x86 lock cmpxchg).
+	CAS Primitive = iota
+	// FAA is fetch-and-add (x86 lock xadd).
+	FAA
+	// SWAP is atomic exchange (x86 xchg, implicit lock).
+	SWAP
+	// TAS is test-and-set (x86 lock bts), modeled on a whole word.
+	TAS
+	// Load is a plain 64-bit load.
+	Load
+	// Store is a plain 64-bit store.
+	Store
+	// CAS2 is double-width compare-and-swap (x86 lock cmpxchg16b),
+	// the primitive behind version-counter ABA defenses. Coherence-wise
+	// it is a normal RFO on one line with a longer execution occupancy.
+	CAS2
+	// Fence is a full memory barrier (x86 mfence): a core-local
+	// pipeline/store-buffer drain with no coherence traffic at all —
+	// the contrast that shows contention costs come from the line, not
+	// the ordering semantics.
+	Fence
+
+	numPrimitives = int(Fence) + 1
+)
+
+func (p Primitive) String() string {
+	switch p {
+	case CAS:
+		return "CAS"
+	case FAA:
+		return "FAA"
+	case SWAP:
+		return "SWAP"
+	case TAS:
+		return "TAS"
+	case Load:
+		return "Load"
+	case Store:
+		return "Store"
+	case CAS2:
+		return "CAS2"
+	case Fence:
+		return "Fence"
+	}
+	return fmt.Sprintf("Primitive(%d)", uint8(p))
+}
+
+// Parse resolves a primitive name (case-sensitive, as printed).
+func Parse(name string) (Primitive, error) {
+	for p := Primitive(0); int(p) < numPrimitives; p++ {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("atomics: unknown primitive %q", name)
+}
+
+// All returns every primitive in display order (Fence last: it is the
+// only one without a memory operand).
+func All() []Primitive { return []Primitive{CAS, FAA, SWAP, TAS, CAS2, Load, Store, Fence} }
+
+// RMWs returns just the read-modify-write primitives.
+func RMWs() []Primitive { return []Primitive{CAS, FAA, SWAP, TAS, CAS2} }
+
+// IsRMW reports whether p is a read-modify-write (needs ownership).
+func (p Primitive) IsRMW() bool {
+	return p == CAS || p == FAA || p == SWAP || p == TAS || p == CAS2
+}
+
+// ExecCost returns the execution occupancy of p on machine m: the time
+// the instruction holds the line at its serialization point once the
+// data has arrived.
+func ExecCost(m *machine.Machine, p Primitive) sim.Time {
+	switch p {
+	case CAS:
+		return m.Lat.ExecCAS
+	case FAA:
+		return m.Lat.ExecFAA
+	case SWAP:
+		return m.Lat.ExecSWAP
+	case TAS:
+		return m.Lat.ExecTAS
+	case Load:
+		return m.Lat.ExecLoad
+	case Store:
+		return m.Lat.ExecStore
+	case CAS2:
+		return m.Lat.ExecCAS2
+	case Fence:
+		return m.Lat.ExecFence
+	}
+	panic("atomics: unknown primitive")
+}
+
+// Result describes a completed primitive.
+type Result struct {
+	// Latency is issue to completion, including queueing.
+	Latency sim.Time
+	// Old is the value the primitive observed at its serialization
+	// point (the return value of FAA/SWAP/TAS/CAS/Load; for Store it is
+	// the overwritten value).
+	Old uint64
+	// OK reports CAS success; it is always true for other primitives.
+	OK bool
+	// Access carries coherence-level detail (source, hops, queueing).
+	Access coherence.AccessResult
+}
+
+// Memory binds a machine description to a coherence system and exposes
+// the primitives. It is the public surface workloads program against.
+type Memory struct {
+	sys *coherence.System
+	m   *machine.Machine
+	// Store buffering (opt-in via machine.StoreBufferDepth).
+	bufDepth int
+	bufs     map[int]*storeBuf
+}
+
+// NewMemory wires a memory built from m's parameters onto engine eng
+// with the given arbiter (nil means FIFO).
+func NewMemory(eng *sim.Engine, m *machine.Machine, arb coherence.Arbiter) (*Memory, error) {
+	sys, err := coherence.NewSystem(eng, m.CoherenceParams(), arb)
+	if err != nil {
+		return nil, err
+	}
+	return &Memory{sys: sys, m: m, bufDepth: m.StoreBufferDepth}, nil
+}
+
+// System exposes the underlying coherence system (stats, tracer, setup).
+func (mem *Memory) System() *coherence.System { return mem.sys }
+
+// Machine returns the machine description this memory simulates.
+func (mem *Memory) Machine() *machine.Machine { return mem.m }
+
+func (mem *Memory) rmw(core int, line coherence.LineID, p Primitive, apply coherence.Apply, done func(Result)) {
+	issue := func() {
+		mem.sys.Access(core, line, coherence.RFO, ExecCost(mem.m, p), apply, func(r coherence.AccessResult) {
+			if done != nil {
+				done(Result{Latency: r.Latency, Old: r.Value, OK: r.Wrote || !p.IsRMW(), Access: r})
+			}
+		})
+	}
+	if p.IsRMW() && mem.bufDepth > 0 {
+		// The lock prefix implies a full fence: drain pending stores
+		// first. (Latency reported covers the RFO only; the drain wait
+		// shows up as elapsed simulated time.)
+		mem.waitDrained(core, issue)
+		return
+	}
+	issue()
+}
+
+// CompareAndSwap2 is the double-width CAS: identical semantics to
+// CompareAndSwap on the simulated 64-bit line value, but charged the
+// cmpxchg16b execution occupancy.
+func (mem *Memory) CompareAndSwap2(core int, line coherence.LineID, old, new uint64, done func(Result)) {
+	mem.rmw(core, line, CAS2, func(cur uint64) (uint64, bool) {
+		if cur == old {
+			return new, true
+		}
+		return cur, false
+	}, done)
+}
+
+// CompareAndSwap atomically replaces the line's value with new if it
+// equals old. done receives OK=false and the observed value on failure.
+// A failing CAS still acquires the line exclusively (as lock cmpxchg
+// does), so it costs the same transfer as a success.
+func (mem *Memory) CompareAndSwap(core int, line coherence.LineID, old, new uint64, done func(Result)) {
+	mem.rmw(core, line, CAS, func(cur uint64) (uint64, bool) {
+		if cur == old {
+			return new, true
+		}
+		return cur, false
+	}, done)
+}
+
+// FetchAndAdd atomically adds delta, returning the prior value in done.
+func (mem *Memory) FetchAndAdd(core int, line coherence.LineID, delta uint64, done func(Result)) {
+	mem.rmw(core, line, FAA, func(cur uint64) (uint64, bool) {
+		return cur + delta, true
+	}, done)
+}
+
+// Swap atomically replaces the value with v, returning the prior value.
+func (mem *Memory) Swap(core int, line coherence.LineID, v uint64, done func(Result)) {
+	mem.rmw(core, line, SWAP, func(cur uint64) (uint64, bool) {
+		return v, true
+	}, done)
+}
+
+// TestAndSet atomically sets the value to 1, returning the prior value
+// (0 means the caller acquired it).
+func (mem *Memory) TestAndSet(core int, line coherence.LineID, done func(Result)) {
+	mem.rmw(core, line, TAS, func(cur uint64) (uint64, bool) {
+		return 1, true
+	}, done)
+}
+
+// LoadOp issues a plain load.
+func (mem *Memory) LoadOp(core int, line coherence.LineID, done func(Result)) {
+	mem.sys.Access(core, line, coherence.Read, ExecCost(mem.m, Load), nil, func(r coherence.AccessResult) {
+		if done != nil {
+			done(Result{Latency: r.Latency, Old: r.Value, OK: true, Access: r})
+		}
+	})
+}
+
+// StoreOp issues a plain store of v. With store buffering enabled the
+// store retires locally in about a cycle and drains asynchronously;
+// otherwise it is a synchronous RFO.
+func (mem *Memory) StoreOp(core int, line coherence.LineID, v uint64, done func(Result)) {
+	if mem.bufDepth > 0 {
+		mem.bufferedStore(core, line, v, done)
+		return
+	}
+	mem.rmw(core, line, Store, func(cur uint64) (uint64, bool) {
+		return v, true
+	}, done)
+}
+
+// FenceOp drains the issuing core's pipeline and, when store buffering
+// is enabled, its store buffer; there is no coherence transaction of
+// its own (the drained stores carry their own).
+func (mem *Memory) FenceOp(core int, done func(Result)) {
+	start := mem.sys.Engine().Now()
+	mem.waitDrained(core, func() {
+		d := ExecCost(mem.m, Fence)
+		mem.sys.Engine().Schedule(d, func() {
+			if done != nil {
+				done(Result{Latency: mem.sys.Engine().Now() - start, OK: true})
+			}
+		})
+	})
+}
+
+// Do dispatches a primitive generically: CAS uses (arg1=old, arg2=new),
+// FAA adds arg1, SWAP/Store write arg1, TAS and Load ignore the args,
+// Fence ignores the line entirely.
+// Workload sweeps use this to treat the primitive as a parameter.
+func (mem *Memory) Do(p Primitive, core int, line coherence.LineID, arg1, arg2 uint64, done func(Result)) {
+	switch p {
+	case Fence:
+		mem.FenceOp(core, done)
+		return
+	case CAS:
+		mem.CompareAndSwap(core, line, arg1, arg2, done)
+	case CAS2:
+		mem.CompareAndSwap2(core, line, arg1, arg2, done)
+	case FAA:
+		mem.FetchAndAdd(core, line, arg1, done)
+	case SWAP:
+		mem.Swap(core, line, arg1, done)
+	case TAS:
+		mem.TestAndSet(core, line, done)
+	case Load:
+		mem.LoadOp(core, line, done)
+	case Store:
+		mem.StoreOp(core, line, arg1, done)
+	default:
+		panic("atomics: unknown primitive")
+	}
+}

@@ -1,0 +1,83 @@
+package coherence
+
+import "atomicsmodel/internal/sim"
+
+// Arbiter decides which queued request a line controller grants next.
+// This is where hardware fairness (or the lack of it) lives: the paper's
+// fairness results come from the fact that real coherence arbitration is
+// not FIFO — requesters topologically close to the line's current owner
+// win races more often, which starves distant cores on NUMA machines.
+type Arbiter interface {
+	// Pick returns the index into l.queue of the request to grant.
+	// The queue is non-empty when Pick is called.
+	Pick(s *System, l *lineState) int
+	// Name identifies the policy in experiment tables.
+	Name() string
+}
+
+// FIFOArbiter grants requests strictly in arrival order: an idealized,
+// perfectly fair interconnect (Jain's index ≈ 1).
+type FIFOArbiter struct{}
+
+func (FIFOArbiter) Pick(s *System, l *lineState) int { return 0 }
+func (FIFOArbiter) Name() string                     { return "fifo" }
+
+// RandomArbiter grants a uniformly random queued request. Memoryless
+// arbitration is statistically fair in the long run but produces higher
+// per-thread variance than FIFO.
+type RandomArbiter struct {
+	RNG *sim.RNG
+}
+
+// NewRandomArbiter returns a random arbiter with its own RNG stream.
+func NewRandomArbiter(seed uint64) *RandomArbiter {
+	return &RandomArbiter{RNG: sim.NewRNG(seed)}
+}
+
+func (a *RandomArbiter) Pick(s *System, l *lineState) int {
+	return a.RNG.Intn(len(l.queue))
+}
+func (a *RandomArbiter) Name() string { return "random" }
+
+// LocalityArbiter grants the queued request whose core is topologically
+// nearest to the line's current location (owner if any, else home).
+// This models real snoop-race behaviour: the core closest to the data
+// observes the line first and wins, which maximizes throughput (shorter
+// transfers) but starves far-away cores — the unfairness the paper
+// measures on multi-socket machines. Ties break in arrival order, and a
+// starvation bound (MaxSkips) eventually forces the oldest request
+// through, mirroring hardware anti-starvation timers.
+type LocalityArbiter struct {
+	// MaxSkips is how many times a request may be bypassed before it is
+	// force-granted; <= 0 means unbounded (pure locality).
+	MaxSkips int
+}
+
+func (a *LocalityArbiter) Pick(s *System, l *lineState) int {
+	if a.MaxSkips > 0 {
+		for i, r := range l.queue {
+			if r.skipped >= a.MaxSkips {
+				return i
+			}
+		}
+	}
+	cur := l.home
+	if l.owner >= 0 {
+		cur = s.p.NodeOf(l.owner)
+	}
+	best, bestD := 0, int(^uint(0)>>1)
+	for i, r := range l.queue {
+		d := s.p.Topo.Hops(s.p.NodeOf(r.core), cur)
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func (a *LocalityArbiter) Name() string {
+	if a.MaxSkips > 0 {
+		return "locality-bounded"
+	}
+	return "locality"
+}

@@ -1,0 +1,687 @@
+// Package coherence simulates a MESI directory-based cache-coherence
+// protocol at cache-line granularity. It is the substrate the paper's
+// measurements run on: atomic read-modify-writes become request-for-
+// ownership (RFO) transactions, the directory serializes requests to a
+// line, and the resulting "bouncing" of the line between cores is exactly
+// the mechanism the paper's performance model is centered on.
+//
+// The simulator tracks, per line: the directory state (owner in M/E or a
+// sharer set in S), the line's 64-bit value (so CAS success and failure
+// are exact, not probabilistic), and a queue of outstanding requests.
+// Requests are served one at a time per line; the service cost is the
+// topology-dependent transfer latency from wherever the data currently
+// lives, plus the execution occupancy the requester declares (the cycles
+// a locked instruction holds the line). Which queued request is served
+// next is decided by a pluggable Arbiter — the source of the fairness
+// differences the paper studies.
+package coherence
+
+import (
+	"fmt"
+
+	"atomicsmodel/internal/sim"
+	"atomicsmodel/internal/topology"
+)
+
+// LineID names a cache line.
+type LineID uint64
+
+// Kind distinguishes the two coherence transactions a core can issue.
+type Kind uint8
+
+const (
+	// Read requests the line in shared state (a plain load).
+	Read Kind = iota
+	// RFO requests exclusive ownership (stores and all atomic RMWs).
+	RFO
+)
+
+func (k Kind) String() string {
+	if k == Read {
+		return "Read"
+	}
+	return "RFO"
+}
+
+// Source reports where the data for an access was found.
+type Source uint8
+
+const (
+	// SrcLocal: the requesting core already had sufficient rights.
+	SrcLocal Source = iota
+	// SrcRemoteCache: the line was forwarded from another core's cache.
+	SrcRemoteCache
+	// SrcLLC: the line was clean at its home LLC slice.
+	SrcLLC
+	// SrcDRAM: the line had to be fetched from memory.
+	SrcDRAM
+)
+
+func (s Source) String() string {
+	switch s {
+	case SrcLocal:
+		return "local"
+	case SrcRemoteCache:
+		return "remote-cache"
+	case SrcLLC:
+		return "llc"
+	case SrcDRAM:
+		return "dram"
+	}
+	return "unknown"
+}
+
+// Params configures a coherent memory system.
+type Params struct {
+	// NumCores is the number of private caches (one per physical core;
+	// hyperthreads share their core's cache and therefore its coherence
+	// state).
+	NumCores int
+	// Topo is the interconnect. NodeOf maps a core to its network stop.
+	Topo   topology.Topology
+	NodeOf func(core int) int
+
+	// L1Hit is the cost of an access that the core's own cache satisfies.
+	L1Hit sim.Time
+	// DirLookup is the home-agent processing cost paid by every miss.
+	DirLookup sim.Time
+	// HopLatency is the cost per network hop of request/data messages.
+	HopLatency sim.Time
+	// CrossSocketPenalty is added once when requester and data source are
+	// in different sockets (the QPI/UPI serialization cost beyond hops).
+	CrossSocketPenalty sim.Time
+	// LLCHit is the base cost of reading the home LLC slice (on top of
+	// the hops to reach it).
+	LLCHit sim.Time
+	// DRAM is the base cost of a memory fetch (on top of hops to home).
+	DRAM sim.Time
+	// InvalidateCost is added to an RFO that must invalidate sharers
+	// (acknowledgment collection overlaps the data return only partly).
+	InvalidateCost sim.Time
+	// ForwardSharer enables MESIF-style forwarding: a read miss on a
+	// line with sharers is served cache-to-cache by the sharer nearest
+	// the requester instead of by the home LLC slice, when that is
+	// cheaper. Intel's real protocol does this (the F state); the
+	// simulator exposes it as an option so experiments can measure what
+	// forwarding is worth.
+	ForwardSharer bool
+	// LinkOccupancy enables finite interconnect bandwidth: every
+	// message reserves each link it crosses for this long, so traffic
+	// on one line delays traffic on others sharing those links. Zero
+	// (the default) means infinite bandwidth; it requires the topology
+	// to implement topology.Router (all built-ins do).
+	LinkOccupancy sim.Time
+}
+
+func (p *Params) validate() error {
+	if p.NumCores <= 0 {
+		return fmt.Errorf("coherence: NumCores = %d", p.NumCores)
+	}
+	if p.Topo == nil || p.NodeOf == nil {
+		return fmt.Errorf("coherence: Topo and NodeOf are required")
+	}
+	for c := 0; c < p.NumCores; c++ {
+		n := p.NodeOf(c)
+		if n < 0 || n >= p.Topo.Nodes() {
+			return fmt.Errorf("coherence: core %d maps to node %d outside topology %s", c, n, p.Topo.Name())
+		}
+	}
+	// Every access must advance simulated time, or a zero-think
+	// workload would spin the event loop at one instant forever.
+	if p.L1Hit <= 0 {
+		return fmt.Errorf("coherence: L1Hit must be positive (got %v)", p.L1Hit)
+	}
+	if p.DirLookup <= 0 {
+		return fmt.Errorf("coherence: DirLookup must be positive (got %v)", p.DirLookup)
+	}
+	for _, c := range []struct {
+		name string
+		v    sim.Time
+	}{
+		{"HopLatency", p.HopLatency}, {"CrossSocketPenalty", p.CrossSocketPenalty},
+		{"LLCHit", p.LLCHit}, {"DRAM", p.DRAM}, {"InvalidateCost", p.InvalidateCost},
+		{"LinkOccupancy", p.LinkOccupancy},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("coherence: %s must be non-negative (got %v)", c.name, c.v)
+		}
+	}
+	return nil
+}
+
+// AccessResult describes a completed access.
+type AccessResult struct {
+	// Latency is issue-to-completion time including queueing behind
+	// other requests to the same line.
+	Latency sim.Time
+	// Value is the line's 64-bit value observed at the serialization
+	// point of this access (before any write this access performs).
+	Value uint64
+	// Wrote reports whether this access modified the line (a failed CAS
+	// gains ownership but sets Wrote=false).
+	Wrote bool
+	// Source says where the data came from.
+	Source Source
+	// Hops is the total network distance the transaction traversed.
+	Hops int
+	// CrossSocket reports whether the transfer crossed a socket.
+	CrossSocket bool
+	// QueuedBehind is the number of other requests granted while this
+	// one waited in the line's queue (how often it was bypassed; 0 when
+	// granted immediately or when it only waited for an in-flight
+	// service that had already been granted on arrival).
+	QueuedBehind int
+}
+
+// TraceEvent is emitted once per completed access for energy accounting
+// and debugging.
+type TraceEvent struct {
+	Line   LineID
+	Core   int
+	Kind   Kind
+	Result AccessResult
+	At     sim.Time
+}
+
+// Apply is the requester's modification, run at the access's
+// serialization point with exclusive rights held. cur is the line's
+// value; if write is true the line's value becomes next. A plain load
+// passes nil. A store returns (v, true) unconditionally; a CAS compares
+// cur and decides.
+type Apply func(cur uint64) (next uint64, write bool)
+
+// request is one outstanding access waiting at a line's controller.
+type request struct {
+	core    int
+	kind    Kind
+	hold    sim.Time // execution occupancy after data arrival
+	apply   Apply
+	issued  sim.Time
+	skipped int // services that happened while this waited
+	done    func(AccessResult)
+}
+
+// lineState is the directory entry plus value for one line.
+type lineState struct {
+	id    LineID
+	home  int // home node (LLC slice / directory)
+	value uint64
+	// MESI directory: either owner >= 0 with exclusive rights
+	// (ownerDirty says M vs E) and empty sharers, or owner == -1 with a
+	// (possibly empty) sharer set.
+	owner      int
+	ownerDirty bool
+	sharers    coreSet
+	valid      bool // present somewhere on chip (else DRAM)
+
+	busy  bool
+	queue []*request
+}
+
+// System is a coherent memory system attached to a simulation engine.
+type System struct {
+	eng    *sim.Engine
+	p      Params
+	arb    Arbiter
+	lines  map[LineID]*lineState
+	net    *network // nil when bandwidth modeling is off
+	tracer func(TraceEvent)
+
+	// Stats counters (cheap, always on).
+	nAccesses   uint64
+	nLocal      uint64
+	nRemote     uint64
+	nLLC        uint64
+	nDRAM       uint64
+	nInvals     uint64
+	totalHops   uint64
+	nCrossSock  uint64
+	maxQueueLen int
+}
+
+// NewSystem builds a memory system. arb may be nil, which means FIFO.
+func NewSystem(eng *sim.Engine, p Params, arb Arbiter) (*System, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if arb == nil {
+		arb = FIFOArbiter{}
+	}
+	if p.LinkOccupancy > 0 {
+		if _, ok := p.Topo.(topology.Router); !ok {
+			return nil, fmt.Errorf("coherence: LinkOccupancy requires a routable topology, %s is not", p.Topo.Name())
+		}
+	}
+	return &System{
+		eng:   eng,
+		p:     p,
+		arb:   arb,
+		lines: make(map[LineID]*lineState),
+		net:   newNetwork(&p),
+	}, nil
+}
+
+// pathCost is the total cost of a coherence transaction that sends a
+// message chain through the given nodes with proc of agent processing
+// after the first leg (the home's directory lookup plus any LLC/DRAM
+// access time). Uncontended it equals proc + Hops*HopLatency; with the
+// bandwidth network enabled each leg reserves its links, and the
+// processing gap holds the later legs back so a transaction does not
+// queue behind its own request message. hops is the distance-weighted
+// hop count for stats and energy.
+func (s *System) pathCost(proc sim.Time, nodes ...int) (total sim.Time, hops int) {
+	for i := 1; i < len(nodes); i++ {
+		hops += s.p.Topo.Hops(nodes[i-1], nodes[i])
+	}
+	if s.net == nil {
+		return proc + sim.Time(hops)*s.p.HopLatency, hops
+	}
+	now := s.eng.Now()
+	t := now
+	for i := 1; i < len(nodes); i++ {
+		t += s.net.transit(t, nodes[i-1], nodes[i])
+		if i == 1 {
+			t += proc
+		}
+	}
+	if len(nodes) < 2 {
+		t += proc
+	}
+	return t - now, hops
+}
+
+// SetTracer installs a per-access callback (e.g. the energy meter).
+func (s *System) SetTracer(fn func(TraceEvent)) { s.tracer = fn }
+
+// Engine returns the simulation engine the system schedules on.
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Params returns the system's configuration.
+func (s *System) Params() Params { return s.p }
+
+func (s *System) line(id LineID) *lineState {
+	l, ok := s.lines[id]
+	if !ok {
+		l = &lineState{
+			id:      id,
+			home:    int(uint64(id) % uint64(s.p.Topo.Nodes())),
+			owner:   -1,
+			sharers: newCoreSet(s.p.NumCores),
+		}
+		s.lines[id] = l
+	}
+	return l
+}
+
+// SetValue initializes a line's value without simulating an access
+// (experiment setup).
+func (s *System) SetValue(id LineID, v uint64) { s.line(id).value = v }
+
+// Value reads a line's value without simulating an access (assertions).
+func (s *System) Value(id LineID) uint64 { return s.line(id).value }
+
+// EvictPrivate drops all private-cache copies of a line while keeping
+// it resident at its home LLC slice (a clean eviction, with any dirty
+// data written back). Experiments use it to stage the "LLC hit" initial
+// state; it must not be called while requests to the line are in
+// flight.
+func (s *System) EvictPrivate(id LineID) {
+	l := s.line(id)
+	if l.busy || len(l.queue) > 0 {
+		panic("coherence: EvictPrivate on a line with in-flight requests")
+	}
+	l.owner = -1
+	l.ownerDirty = false
+	l.sharers.clear()
+	// valid retains its value: an untouched line stays in DRAM.
+}
+
+// Access issues a coherence transaction from core for line id. kind
+// selects Read or RFO; hold is the execution occupancy charged while the
+// line is held at the serialization point (the locked instruction's
+// cycles); apply performs the modification (may be nil for loads);
+// done is invoked when the access completes. Access itself returns
+// immediately — completion is a simulation event.
+func (s *System) Access(core int, id LineID, kind Kind, hold sim.Time, apply Apply, done func(AccessResult)) {
+	if core < 0 || core >= s.p.NumCores {
+		panic(fmt.Sprintf("coherence: core %d out of range", core))
+	}
+	l := s.line(id)
+
+	// Fast path: a read that the core's own cache can satisfy does not
+	// serialize through the directory — real L1s serve shared lines
+	// concurrently.
+	if kind == Read && (l.owner == core || l.sharers.has(core)) {
+		s.nAccesses++
+		s.nLocal++
+		res := AccessResult{Latency: s.p.L1Hit, Value: l.value, Source: SrcLocal}
+		val := l.value
+		s.eng.Schedule(s.p.L1Hit, func() {
+			res.Value = val
+			s.finish(l, core, kind, res, done)
+		})
+		return
+	}
+
+	// Pipelined shared read: when no core holds the line exclusively
+	// and it is resident at its home slice, concurrent read misses are
+	// served by the (pipelined, multi-banked) LLC without occupying the
+	// line's serialization point. This is what lets TTAS-style spinning
+	// refill many waiters' caches in parallel after an invalidation.
+	if kind == Read && l.owner == -1 && l.valid {
+		cNode := s.p.NodeOf(core)
+		// Choose the data source with uncontended closed-form costs,
+		// then reserve (and pay) only the chosen path.
+		llcHops := 2 * s.p.Topo.Hops(cNode, l.home)
+		llcCost := s.p.DirLookup + s.p.LLCHit + sim.Time(llcHops)*s.p.HopLatency
+		useForward := false
+		var fNode, fHops int
+		var fCross bool
+		if s.p.ForwardSharer && !l.sharers.empty() {
+			// MESIF: the nearest sharer forwards if that beats the LLC.
+			if f, h, ok := s.nearestSharer(l, cNode); ok {
+				fNode, fHops = s.p.NodeOf(f), h
+				fCross = s.p.Topo.CrossSocket(cNode, fNode)
+				fCost := s.p.DirLookup + sim.Time(fHops)*s.p.HopLatency
+				if fCross {
+					fCost += s.p.CrossSocketPenalty
+				}
+				useForward = fCost < llcCost
+			}
+		}
+		var cost sim.Time
+		var res AccessResult
+		if useForward {
+			c, hops := s.pathCost(s.p.DirLookup, cNode, l.home, fNode, cNode)
+			cost = c
+			if fCross {
+				cost += s.p.CrossSocketPenalty
+			}
+			res = AccessResult{Source: SrcRemoteCache, Hops: hops, CrossSocket: fCross}
+		} else {
+			c, hops := s.pathCost(s.p.DirLookup+s.p.LLCHit, cNode, l.home, cNode)
+			cost = c
+			res = AccessResult{Source: SrcLLC, Hops: hops}
+		}
+		l.sharers.add(core)
+		s.nAccesses++
+		if res.Source == SrcLLC {
+			s.nLLC++
+		} else {
+			s.nRemote++
+			if res.CrossSocket {
+				s.nCrossSock++
+			}
+		}
+		s.totalHops += uint64(res.Hops)
+		res.Latency = cost
+		val := l.value
+		s.eng.Schedule(cost, func() {
+			res.Value = val
+			s.finish(l, core, kind, res, done)
+		})
+		return
+	}
+
+	req := &request{core: core, kind: kind, hold: hold, apply: apply, issued: s.eng.Now(), done: done}
+	l.queue = append(l.queue, req)
+	if len(l.queue) > s.maxQueueLen {
+		s.maxQueueLen = len(l.queue)
+	}
+	if !l.busy {
+		s.serveNext(l)
+	}
+}
+
+// nearestSharer returns the sharer core topologically closest to node
+// reqNode and the three-leg hop count (requester→home→forwarder→
+// requester) of a forward from it.
+func (s *System) nearestSharer(l *lineState, reqNode int) (core, hops int, ok bool) {
+	best, bestHops := -1, int(^uint(0)>>1)
+	l.sharers.forEach(func(c int) {
+		n := s.p.NodeOf(c)
+		h := s.p.Topo.Hops(reqNode, l.home) + s.p.Topo.Hops(l.home, n) + s.p.Topo.Hops(n, reqNode)
+		if h < bestHops {
+			best, bestHops = c, h
+		}
+	})
+	if best < 0 {
+		return 0, 0, false
+	}
+	return best, bestHops, true
+}
+
+// serveNext grants the arbiter's pick and schedules its completion.
+func (s *System) serveNext(l *lineState) {
+	if len(l.queue) == 0 {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	idx := s.arb.Pick(s, l)
+	req := l.queue[idx]
+	l.queue = append(l.queue[:idx], l.queue[idx+1:]...)
+	for _, waiting := range l.queue {
+		waiting.skipped++
+	}
+
+	cost, res := s.serviceCost(l, req)
+	s.applyDirectory(l, req)
+
+	// The line is busy for the transfer plus the execution occupancy;
+	// the requester's completion callback fires at the same instant the
+	// next request can be granted.
+	total := cost + req.hold
+	s.eng.Schedule(total, func() {
+		res.Latency = s.eng.Now() - req.issued
+		res.QueuedBehind = req.skipped
+		res.Value = l.value
+		if req.apply != nil {
+			if next, write := req.apply(l.value); write {
+				l.value = next
+				res.Wrote = true
+				l.ownerDirty = true
+			}
+		}
+		s.finish(l, req.core, req.kind, res, req.done)
+		s.serveNext(l)
+	})
+}
+
+// serviceCost computes the transfer latency and provenance for a granted
+// request, based on the directory state before the request is applied.
+func (s *System) serviceCost(l *lineState, req *request) (sim.Time, AccessResult) {
+	var res AccessResult
+	c := req.core
+	cNode := s.p.NodeOf(c)
+
+	switch {
+	case l.owner == c:
+		// Requester already owns the line (M or E): pure cache hit.
+		// An RFO upgrade from E to M is silent.
+		res.Source = SrcLocal
+		s.nLocal++
+		s.nAccesses++
+		return s.p.L1Hit, res
+
+	case req.kind == Read && l.sharers.has(c):
+		// Shared hit that raced with a queued service; still local.
+		res.Source = SrcLocal
+		s.nLocal++
+		s.nAccesses++
+		return s.p.L1Hit, res
+
+	case l.owner >= 0:
+		// Dirty/exclusive in another core's cache: home forwards the
+		// request to the owner, owner sends data to the requester.
+		oNode := s.p.NodeOf(l.owner)
+		cost, hops := s.pathCost(s.p.DirLookup, cNode, l.home, oNode, cNode)
+		cross := s.p.Topo.CrossSocket(cNode, oNode)
+		if cross {
+			cost += s.p.CrossSocketPenalty
+			s.nCrossSock++
+		}
+		res.Source = SrcRemoteCache
+		res.Hops = hops
+		res.CrossSocket = cross
+		s.nRemote++
+		s.nAccesses++
+		s.totalHops += uint64(hops)
+		return cost, res
+
+	case l.valid:
+		// Clean at home LLC; request + data each travel the home
+		// distance. RFOs additionally invalidate any sharers.
+		cost, hops := s.pathCost(s.p.DirLookup+s.p.LLCHit, cNode, l.home, cNode)
+		if req.kind == RFO && !l.sharers.empty() {
+			// Do not count the requester itself as a third-party sharer.
+			others := l.sharers.count()
+			if l.sharers.has(c) {
+				others--
+			}
+			if others > 0 {
+				cost += s.p.InvalidateCost
+				s.nInvals++
+			}
+		}
+		res.Source = SrcLLC
+		res.Hops = hops
+		s.nLLC++
+		s.nAccesses++
+		s.totalHops += uint64(hops)
+		return cost, res
+
+	default:
+		// Cold: fetch from DRAM through the home memory controller.
+		cost, hops := s.pathCost(s.p.DirLookup+s.p.DRAM, cNode, l.home, cNode)
+		res.Source = SrcDRAM
+		res.Hops = hops
+		s.nDRAM++
+		s.nAccesses++
+		s.totalHops += uint64(hops)
+		return cost, res
+	}
+}
+
+// applyDirectory transitions the directory for a granted request.
+func (s *System) applyDirectory(l *lineState, req *request) {
+	c := req.core
+	switch req.kind {
+	case RFO:
+		// Exclusive ownership: everyone else is invalidated.
+		l.sharers.clear()
+		l.owner = c
+		// Dirty only once a write happens; E until then. The completion
+		// callback sets ownerDirty when apply writes.
+		l.ownerDirty = false
+		l.valid = true
+	case Read:
+		if l.owner >= 0 && l.owner != c {
+			// Owner downgrades to sharer (M data written back to LLC).
+			l.sharers.add(l.owner)
+			l.owner = -1
+			l.ownerDirty = false
+		}
+		if l.owner == c {
+			// Reading one's own exclusive line keeps ownership.
+			break
+		}
+		if l.sharers.empty() && !l.valid {
+			// First toucher gets E.
+			l.owner = c
+			l.ownerDirty = false
+		} else if l.sharers.empty() && l.valid && l.owner < 0 {
+			// Sole reader of an LLC-resident line also gets E.
+			l.owner = c
+			l.ownerDirty = false
+		} else {
+			l.sharers.add(c)
+		}
+		l.valid = true
+	}
+}
+
+func (s *System) finish(l *lineState, core int, kind Kind, res AccessResult, done func(AccessResult)) {
+	if s.tracer != nil {
+		s.tracer(TraceEvent{Line: l.id, Core: core, Kind: kind, Result: res, At: s.eng.Now()})
+	}
+	if done != nil {
+		done(res)
+	}
+}
+
+// Stats is a snapshot of system-wide coherence counters.
+type Stats struct {
+	Accesses    uint64
+	LocalHits   uint64
+	RemoteXfers uint64
+	LLCFills    uint64
+	DRAMFills   uint64
+	Invals      uint64
+	TotalHops   uint64
+	CrossSocket uint64
+	MaxQueueLen int
+	// LinkStall is the cumulative time messages waited for busy links
+	// (zero unless bandwidth modeling is on).
+	LinkStall sim.Time
+}
+
+// Stats returns a snapshot of the counters.
+func (s *System) Stats() Stats {
+	var stall sim.Time
+	if s.net != nil {
+		stall = s.net.Stalled()
+	}
+	return Stats{
+		LinkStall:   stall,
+		Accesses:    s.nAccesses,
+		LocalHits:   s.nLocal,
+		RemoteXfers: s.nRemote,
+		LLCFills:    s.nLLC,
+		DRAMFills:   s.nDRAM,
+		Invals:      s.nInvals,
+		TotalHops:   s.totalHops,
+		CrossSocket: s.nCrossSock,
+		MaxQueueLen: s.maxQueueLen,
+	}
+}
+
+// CheckInvariants validates directory consistency for all lines. It is
+// called by tests after every workload; violations indicate protocol
+// bugs, so it returns a descriptive error rather than panicking.
+func (s *System) CheckInvariants() error {
+	for id, l := range s.lines {
+		if l.owner >= 0 && !l.sharers.empty() {
+			return fmt.Errorf("line %d: owner %d coexists with %d sharers", id, l.owner, l.sharers.count())
+		}
+		if l.owner >= s.p.NumCores {
+			return fmt.Errorf("line %d: owner %d out of range", id, l.owner)
+		}
+		if !l.valid && (l.owner >= 0 || !l.sharers.empty()) {
+			return fmt.Errorf("line %d: cached but not valid", id)
+		}
+		if l.busy && len(l.queue) == 0 && s.eng.Pending() == 0 {
+			return fmt.Errorf("line %d: busy with no pending completion", id)
+		}
+	}
+	return nil
+}
+
+// LineDirectory is a read-only view of a line's directory entry, for
+// tests and debugging.
+type LineDirectory struct {
+	Owner   int
+	Dirty   bool
+	Sharers []int
+	Valid   bool
+	Home    int
+	Queue   int
+}
+
+// Directory returns the current directory entry for a line.
+func (s *System) Directory(id LineID) LineDirectory {
+	l := s.line(id)
+	var sh []int
+	l.sharers.forEach(func(c int) { sh = append(sh, c) })
+	return LineDirectory{Owner: l.owner, Dirty: l.ownerDirty, Sharers: sh, Valid: l.valid, Home: l.home, Queue: len(l.queue)}
+}

@@ -1,0 +1,71 @@
+package coherence
+
+import (
+	"atomicsmodel/internal/sim"
+	"atomicsmodel/internal/topology"
+)
+
+// network models finite interconnect bandwidth. When enabled (the
+// params' LinkOccupancy > 0 and the topology is a topology.Router),
+// every coherence message reserves each link it crosses for
+// LinkOccupancy — so a storm on one line delays traffic on every line
+// sharing those links, the cross-line interference infinite-bandwidth
+// simulation misses.
+type network struct {
+	router    topology.Router
+	occupancy sim.Time
+	hop       sim.Time
+	// free[l] is the instant link l next becomes available.
+	free []sim.Time
+	// stalled accumulates total time messages waited for busy links.
+	stalled sim.Time
+}
+
+// newNetwork returns nil when bandwidth modeling is off (zero occupancy
+// or a topology that cannot enumerate links).
+func newNetwork(p *Params) *network {
+	if p.LinkOccupancy <= 0 {
+		return nil
+	}
+	r, ok := p.Topo.(topology.Router)
+	if !ok {
+		return nil
+	}
+	return &network{
+		router:    r,
+		occupancy: p.LinkOccupancy,
+		hop:       p.HopLatency,
+		free:      make([]sim.Time, r.Links()),
+	}
+}
+
+// transit sends one message from node a to node b starting at time at;
+// it reserves each link in order and returns the transit delay (arrival
+// minus at). With no contention the delay is Hops(a,b)*HopLatency,
+// identical to the closed-form cost.
+func (nw *network) transit(at sim.Time, a, b int) sim.Time {
+	t := at
+	for _, l := range nw.router.Path(a, b) {
+		start := t
+		if nw.free[l] > start {
+			nw.stalled += nw.free[l] - start
+			start = nw.free[l]
+		}
+		nw.free[l] = start + nw.occupancy
+		t = start + nw.hop*sim.Time(nw.router.LinkTransit(l))
+	}
+	return t - at
+}
+
+// trip chains message legs through the given node sequence and returns
+// the total transit delay from at.
+func (nw *network) trip(at sim.Time, nodes ...int) sim.Time {
+	t := at
+	for i := 1; i < len(nodes); i++ {
+		t += nw.transit(t, nodes[i-1], nodes[i])
+	}
+	return t - at
+}
+
+// Stalled reports the cumulative time messages spent waiting for links.
+func (nw *network) Stalled() sim.Time { return nw.stalled }

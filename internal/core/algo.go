@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/sim"
+)
+
+// AlgoStep is one memory access in an algorithm's high-level operation
+// (one counter increment, one stack push, one lock cycle). A concurrent
+// algorithm is, for the model's purposes, just the multiset of accesses
+// each operation performs on each contended line.
+type AlgoStep struct {
+	// Primitive performed by this step.
+	Primitive atomics.Primitive
+	// Line identifies which contended line the step touches.
+	// PrivateLine marks a per-thread line (local, no cross-thread
+	// traffic); MigratoryLine marks per-element lines that transfer
+	// between threads (a pop reading the pusher's node) — they pay a
+	// transfer latency but are not a shared serialization point.
+	Line int
+	// Retry marks a step inside a repeat-until-success loop (a CAS
+	// loop body — typically the gating CAS plus the re-reads it
+	// retries with): under contention the loop body executes
+	// ~1/successRate ≈ n times per operation, each iteration paying
+	// the step's full service.
+	Retry bool
+	// Weight scales the step for operation mixes (0.5 = half the
+	// operations perform this step). Zero means 1.
+	Weight float64
+}
+
+// Line sentinels for AlgoStep.
+const (
+	// PrivateLine is a per-thread line: local cost, no serialization.
+	PrivateLine = -1
+	// MigratoryLine is a per-element line that moves between threads:
+	// transfer cost, no shared serialization point.
+	MigratoryLine = -2
+)
+
+// PredictAlgorithm predicts the aggregate operation throughput of an
+// algorithm whose every operation performs the given steps, when the
+// given cores run it back-to-back (think time work between operations).
+//
+// The model composes exactly the paper's primitive-level reasoning:
+// each contended line is a serial resource whose per-operation
+// occupancy is the sum of the services of the steps touching it (retry
+// steps count 1/p times); the line with the largest occupancy is the
+// bottleneck; private steps add latency but overlap across threads, so
+// they only matter when the system is not saturated.
+func (md *Model) PredictAlgorithm(steps []AlgoStep, cores []int, work sim.Time) (Prediction, error) {
+	n := len(cores)
+	pred := Prediction{Threads: n, SuccessRate: 1, Jain: 1}
+	if n == 0 {
+		return pred, nil
+	}
+	// Occupancy per operation of each contended line, plus the
+	// latency-path length of one operation.
+	occupancy := map[int]sim.Time{}
+	var pathLen sim.Time
+	retries := 1.0
+	for _, st := range steps {
+		if st.Line < MigratoryLine {
+			return pred, fmt.Errorf("core: invalid line %d in algorithm step", st.Line)
+		}
+		w := st.Weight
+		if w == 0 {
+			w = 1
+		}
+		if w < 0 {
+			return pred, fmt.Errorf("core: negative step weight %v", w)
+		}
+		attempts := w
+		if st.Retry && n > 1 {
+			attempts = w * float64(n) // FIFO blind-retry: 1/p with p = 1/n
+			retries = float64(n)
+		}
+		switch {
+		case st.Line >= 0:
+			s := md.ServiceTime(st.Primitive, cores)
+			occupancy[st.Line] += sim.Time(attempts * float64(s))
+			pathLen += sim.Time(attempts * float64(s))
+		case st.Line == MigratoryLine:
+			// Transfer latency without a shared serialization point.
+			s := md.ServiceTime(st.Primitive, cores)
+			pathLen += sim.Time(w * float64(s))
+		default:
+			// Private access: warmed per-thread line, local cost.
+			s := md.ServiceTime(st.Primitive, cores[:1])
+			pathLen += sim.Time(w * float64(s))
+		}
+	}
+	var bottleneck sim.Time
+	for _, occ := range occupancy {
+		if occ > bottleneck {
+			bottleneck = occ
+		}
+	}
+	pred.ServiceTime = bottleneck
+	if bottleneck == 0 {
+		// Fully private algorithm: every thread proceeds independently.
+		perThread := 1 / float64(pathLen+work)
+		pred.ThroughputMops = perThread * float64(n) * 1e12 / 1e6
+		pred.AttemptsMops = pred.ThroughputMops * retries
+		pred.AttemptLatency = pathLen
+		return pred, nil
+	}
+	// Closed system: population bound n/(pathLen+work) against the
+	// bottleneck line's service rate 1/bottleneck.
+	rate := 1 / float64(bottleneck)
+	if pop := float64(n) / float64(pathLen+work); pop < rate {
+		rate = pop
+	}
+	pred.ThroughputMops = rate * 1e12 / 1e6
+	pred.AttemptsMops = pred.ThroughputMops * retries
+	pred.SuccessRate = 1 / retries
+	pred.AttemptLatency = sim.Time(float64(n)/rate) - work
+	pred.EnergyPerOpNJ = 0 // composite energy is not modeled
+	if retries > 1 {
+		// The winner-keeps-winning dynamics of blind retry loops.
+		pred.Jain = 1 / float64(n)
+	}
+	return pred, nil
+}

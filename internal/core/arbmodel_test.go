@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/sim"
+	"atomicsmodel/internal/workload"
+)
+
+func simHighArb(t *testing.T, m *machine.Machine, p atomics.Primitive, n int, arb coherence.Arbiter) *workload.Result {
+	t.Helper()
+	res, err := workload.Run(workload.Config{
+		Machine: m, Threads: n, Primitive: p, Mode: workload.HighContention,
+		Arbiter: arb,
+		Warmup:  25 * sim.Microsecond, Duration: 300 * sim.Microsecond, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestArbPolicyStrings(t *testing.T) {
+	if ArbFIFO.String() != "fifo" || ArbRandom.String() != "random" ||
+		ArbLocality.String() != "locality" || ArbPolicy(9).String() != "unknown" {
+		t.Error("policy strings")
+	}
+}
+
+func TestPredictFIFODefault(t *testing.T) {
+	m := machine.XeonE5()
+	md := NewDetailed(m)
+	cores := compactCores(m, 8)
+	a := md.PredictHigh(atomics.FAA, cores, 0)
+	b := md.PredictHighArb(atomics.FAA, cores, 0, ArbFIFO)
+	if a != b {
+		t.Fatal("ArbFIFO should equal PredictHigh")
+	}
+}
+
+func TestPredictLocalityXeonMonopoly(t *testing.T) {
+	// On Xeon (one core per ring stop), the owner re-wins every race:
+	// throughput = local-op rate, Jain = 1/n. Matches F13's measured
+	// 114.30 Mops at any thread count.
+	m := machine.XeonE5()
+	md := NewDetailed(m)
+	for _, n := range []int{8, 16} {
+		cores := compactCores(m, n)
+		pred := md.PredictHighArb(atomics.FAA, cores, 0, ArbLocality)
+		res := simHighArb(t, m, atomics.FAA, n, &coherence.LocalityArbiter{})
+		if e := math.Abs(pred.ThroughputMops-res.ThroughputMops) / res.ThroughputMops; e > 0.05 {
+			t.Errorf("n=%d: locality model %.2f vs sim %.2f Mops (%.0f%%)",
+				n, pred.ThroughputMops, res.ThroughputMops, e*100)
+		}
+		if math.Abs(pred.Jain-res.Jain) > 0.03 {
+			t.Errorf("n=%d: locality Jain model %.3f vs sim %.3f", n, pred.Jain, res.Jain)
+		}
+	}
+}
+
+func TestPredictLocalityKNLTilePair(t *testing.T) {
+	// On KNL two cores share each tile: locality arbitration rotates
+	// ownership inside ONE tile (zero-hop transfers). Which tile
+	// absorbs ownership is an initial-race accident, so the model
+	// predicts the expectation over the candidate tiles; compare it to
+	// the mean over several seeds, and Jain = 2/n at every seed.
+	m := machine.KNL()
+	md := NewDetailed(m)
+	for _, n := range []int{8, 16} {
+		cores := compactCores(m, n)
+		pred := md.PredictHighArb(atomics.FAA, cores, 0, ArbLocality)
+		var mean float64
+		const seeds = 5
+		for s := 0; s < seeds; s++ {
+			res, err := workload.Run(workload.Config{
+				Machine: m, Threads: n, Primitive: atomics.FAA,
+				Mode: workload.HighContention, Arbiter: &coherence.LocalityArbiter{},
+				Warmup: 25 * sim.Microsecond, Duration: 300 * sim.Microsecond,
+				Seed: uint64(100 + s),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mean += res.ThroughputMops / seeds
+			wantJain := 2.0 / float64(n)
+			if math.Abs(res.Jain-wantJain) > 0.03 {
+				t.Errorf("n=%d seed %d: simulated Jain %.3f, want %.3f", n, s, res.Jain, wantJain)
+			}
+		}
+		if e := math.Abs(pred.ThroughputMops-mean) / mean; e > 0.20 {
+			t.Errorf("n=%d: locality model %.2f vs seed-mean sim %.2f Mops (%.0f%%)",
+				n, pred.ThroughputMops, mean, e*100)
+		}
+		if math.Abs(pred.Jain-2.0/float64(n)) > 1e-9 {
+			t.Errorf("n=%d: predicted Jain %.3f, want %.3f", n, pred.Jain, 2.0/float64(n))
+		}
+	}
+}
+
+func TestPredictRandomCASSuccess(t *testing.T) {
+	// Random arbitration softens the CAS decay from 1/n to the
+	// memoryless fixed point; the simulator agrees within a few points.
+	m := machine.XeonE5()
+	md := NewDetailed(m)
+	n := 8
+	cores := compactCores(m, n)
+	pred := md.PredictHighArb(atomics.CAS, cores, 0, ArbRandom)
+	res := simHighArb(t, m, atomics.CAS, n, coherence.NewRandomArbiter(5))
+	if pred.SuccessRate <= CASSuccessRateFIFO(n) {
+		t.Fatal("random arbitration should predict a better CAS success rate than FIFO")
+	}
+	if math.Abs(pred.SuccessRate-res.SuccessRate()) > 0.06 {
+		t.Errorf("success rate model %.3f vs sim %.3f", pred.SuccessRate, res.SuccessRate())
+	}
+	if res.Jain < 0.9 {
+		t.Errorf("random-arb CAS should be roughly fair: Jain %.3f", res.Jain)
+	}
+}
+
+func TestPredictRandomFAAEqualsFIFO(t *testing.T) {
+	m := machine.KNL()
+	md := NewDetailed(m)
+	cores := compactCores(m, 16)
+	fifo := md.PredictHighArb(atomics.FAA, cores, 0, ArbFIFO)
+	random := md.PredictHighArb(atomics.FAA, cores, 0, ArbRandom)
+	if fifo.ThroughputMops != random.ThroughputMops {
+		t.Fatal("FAA throughput should not depend on fifo-vs-random arbitration")
+	}
+}
+
+func TestPredictLocalityWithThinkTime(t *testing.T) {
+	// With large think time the monopolist cannot saturate the line
+	// alone; the cluster bound k/(s+w) kicks in.
+	m := machine.XeonE5()
+	md := NewDetailed(m)
+	cores := compactCores(m, 8)
+	w := 2 * sim.Microsecond
+	pred := md.PredictHighArb(atomics.FAA, cores, 0, ArbLocality)
+	predW := md.PredictHighArb(atomics.FAA, cores, w, ArbLocality)
+	if predW.ThroughputMops >= pred.ThroughputMops {
+		t.Fatal("think time should reduce locality throughput")
+	}
+}
+
+func TestPredictLocalityDegenerate(t *testing.T) {
+	md := NewDetailed(machine.XeonE5())
+	p := md.PredictHighArb(atomics.FAA, nil, 0, ArbLocality)
+	if p.Threads != 0 || p.ThroughputMops != 0 {
+		t.Fatal("empty cores")
+	}
+	solo := md.PredictHighArb(atomics.FAA, []int{3}, 0, ArbLocality)
+	plain := md.PredictHigh(atomics.FAA, []int{3}, 0)
+	if solo.ThroughputMops != plain.ThroughputMops {
+		t.Fatal("single thread: arbitration is immaterial")
+	}
+}

@@ -1,0 +1,400 @@
+// Package core implements the paper's contribution: a simple analytical
+// performance model for atomic primitives, centered on the bouncing of
+// cache lines between the threads that execute atomics on them.
+//
+// The model's state is tiny — a handful of transfer-time constants —
+// and from them it predicts, for any primitive, thread placement and
+// local-work level:
+//
+//   - per-operation latency and throughput in the high-contention
+//     setting (the line's directory serializes requests, so service
+//     time = expected line-transfer time + the primitive's execution
+//     occupancy, and the system behaves as a closed queueing network
+//     around a single server);
+//   - CAS success rate (and hence the successful-update throughput of
+//     CAS-based code versus FAA-based code);
+//   - latency in the low-contention setting as a function of where the
+//     line initially is;
+//   - fairness and energy per operation.
+//
+// Two variants are provided. The detailed model computes expected
+// transfer times from the machine's topology (hop counts between the
+// contending cores and the line's home). The simple model is the one a
+// practitioner would use on real hardware: it takes just three measured
+// constants (local, same-socket transfer, cross-socket transfer) and
+// still captures the behaviour — Calibrate obtains those constants from
+// three probe runs, mirroring how the paper fits its model.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/sim"
+	"atomicsmodel/internal/topology"
+	"atomicsmodel/internal/workload"
+)
+
+// Variant selects how transfer times are obtained.
+type Variant uint8
+
+const (
+	// Detailed derives expected transfer times from topology hop counts.
+	Detailed Variant = iota
+	// Simple uses three calibrated constants (tLocal, tSame, tCross).
+	Simple
+)
+
+// Model predicts atomic-primitive performance on one machine.
+type Model struct {
+	m       *machine.Machine
+	variant Variant
+
+	// Simple-variant constants: time to complete one RMW (excluding the
+	// primitive-specific execution delta) when the line is local, in a
+	// same-socket cache, or in a cross-socket cache.
+	tLocal, tSame, tCross sim.Time
+
+	// home is the topology node assumed to host the contended line's
+	// directory (line ID 1 in the workloads).
+	home int
+}
+
+// NewDetailed builds the topology-aware model for m.
+func NewDetailed(m *machine.Machine) *Model {
+	return &Model{m: m, variant: Detailed, home: 1 % m.Topo.Nodes()}
+}
+
+// NewSimple builds the three-constant model. tLocal is the cost of an
+// RMW on an owned line including execution; tSame and tCross are the
+// costs when the line is in a same-socket / cross-socket cache. For a
+// single-socket machine pass tCross = tSame.
+func NewSimple(m *machine.Machine, tLocal, tSame, tCross sim.Time) *Model {
+	return &Model{m: m, variant: Simple, tLocal: tLocal, tSame: tSame, tCross: tCross, home: 1 % m.Topo.Nodes()}
+}
+
+// Machine returns the machine the model describes.
+func (md *Model) Machine() *machine.Machine { return md.m }
+
+// Variant returns the model variant.
+func (md *Model) Variant() Variant { return md.variant }
+
+// Constants returns the simple-variant constants (zero for Detailed).
+func (md *Model) Constants() (tLocal, tSame, tCross sim.Time) {
+	return md.tLocal, md.tSame, md.tCross
+}
+
+// pairCost returns the expected completion cost of one RMW granted to
+// core c when the line was last owned by core o (excluding execution
+// occupancy), under the chosen variant.
+func (md *Model) pairCost(o, c int) sim.Time {
+	lat := md.m.Lat
+	if o == c {
+		if md.variant == Simple {
+			return md.tLocal
+		}
+		return lat.L1Hit
+	}
+	// Distinct cores always pay a directory trip, even on the same
+	// tile (KNL tile-mates have private L1s; their transfers are
+	// cheap — zero-hop legs — but not free).
+	no, nc := md.m.NodeOf(o), md.m.NodeOf(c)
+	cross := md.m.Topo.CrossSocket(nc, no)
+	if md.variant == Simple {
+		if cross {
+			return md.tCross
+		}
+		return md.tSame
+	}
+	hops := md.m.Topo.Hops(nc, md.home) + md.m.Topo.Hops(md.home, no) + md.m.Topo.Hops(no, nc)
+	cost := lat.DirLookup + sim.Time(hops)*lat.HopLatency
+	if cross {
+		cost += lat.CrossSocketPenalty
+	}
+	return cost
+}
+
+// ServiceTime returns the expected time the contended line is occupied
+// per operation of primitive p when the given physical cores contend.
+// Under FIFO arbitration the grants cycle through the threads in their
+// (random) arrival order, so the expected consecutive-owner transfer
+// cost is the mean of pairCost over all ordered distinct pairs; the
+// primitive's execution occupancy is added on top.
+func (md *Model) ServiceTime(p atomics.Primitive, cores []int) sim.Time {
+	exec := atomics.ExecCost(md.m, p)
+	if len(cores) <= 1 {
+		if md.variant == Simple {
+			return md.tLocal + exec - atomics.ExecCost(md.m, atomics.FAA)
+		}
+		return md.m.Lat.L1Hit + exec
+	}
+	var sum sim.Time
+	pairs := 0
+	for i, c := range cores {
+		for j, o := range cores {
+			if i == j {
+				continue
+			}
+			sum += md.pairCost(o, c)
+			pairs++
+		}
+	}
+	mean := sum / sim.Time(pairs)
+	if md.variant == Simple {
+		// tLocal/tSame/tCross were calibrated with FAA; adjust by the
+		// primitive's execution delta.
+		return mean + exec - atomics.ExecCost(md.m, atomics.FAA)
+	}
+	return mean + exec
+}
+
+// Prediction is the model's output for one configuration.
+type Prediction struct {
+	Threads int
+	// ServiceTime is the expected line occupancy per attempt.
+	ServiceTime sim.Time
+	// AttemptsMops is the rate of completed primitives (including
+	// failed CAS), in millions per second.
+	AttemptsMops float64
+	// ThroughputMops is the rate of successful operations.
+	ThroughputMops float64
+	// AttemptLatency is the expected issue-to-completion latency of one
+	// primitive (including waiting for the line).
+	AttemptLatency sim.Time
+	// SuccessRate is Ops/Attempts (1 for everything but contended CAS).
+	SuccessRate float64
+	// Jain is the predicted Jain fairness index over per-thread
+	// successful ops under FIFO arbitration.
+	Jain float64
+	// EnergyPerOpNJ is predicted energy per successful operation.
+	EnergyPerOpNJ float64
+}
+
+// CASSuccessRateFIFO models the blind-CAS retry pattern under FIFO
+// (round-robin) arbitration. The grants cycle through the threads, so
+// only the thread holding the freshest expected value succeeds: exactly
+// one success per N attempts.
+func CASSuccessRateFIFO(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 1 / float64(n)
+}
+
+// CASSuccessRateRandom models blind CAS under memoryless (random)
+// arbitration. Between a thread's consecutive grants, the number of
+// other grants G is geometric with mean n-1 (each grant is the
+// thread's with probability 1/n), and the CAS succeeds iff none of
+// those intermediate grants succeeded. With the symmetric assumption
+// that every grant succeeds independently with probability p,
+//
+//	p = E[(1-p)^G] = (1/n) / (1 - (1-1/n)(1-p)),
+//
+// a quadratic p²q + p/n - 1/n = 0 with q = 1-1/n, solved in closed
+// form. The simulator's random-arbiter runs match it within a few
+// percent (see arbmodel tests).
+func CASSuccessRateRandom(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	inv := 1 / float64(n)
+	q := 1 - inv
+	return (-inv + math.Sqrt(inv*inv+4*q*inv)) / (2 * q)
+}
+
+// PredictHigh predicts the high-contention setting: the given physical
+// cores (one per thread; repeats mean hyperthread sharing) all hammer
+// one line with primitive p, separated by think time work.
+func (md *Model) PredictHigh(p atomics.Primitive, cores []int, work sim.Time) Prediction {
+	n := len(cores)
+	if p == atomics.Fence {
+		// Fences are core-local: no shared line, so "high contention"
+		// degenerates to independent threads.
+		exec := atomics.ExecCost(md.m, p)
+		pred := Prediction{Threads: n, ServiceTime: exec, SuccessRate: 1, Jain: 1, AttemptLatency: exec}
+		if n > 0 {
+			pred.AttemptsMops = float64(n) / float64(exec+work) * 1e12 / 1e6
+			pred.ThroughputMops = pred.AttemptsMops
+			pred.EnergyPerOpNJ = md.energyPerOpLow(n, pred)
+		}
+		return pred
+	}
+	s := md.ServiceTime(p, cores)
+	pred := Prediction{Threads: n, ServiceTime: s, SuccessRate: 1, Jain: 1}
+	if n == 0 {
+		return pred
+	}
+	// Closed system around one server: each thread cycles through
+	// think (work) and service; attempts rate is bounded by both the
+	// population and the server.
+	sf, wf := float64(s), float64(work)
+	attemptsPerPs := math.Min(float64(n)/(sf+wf), 1/sf)
+	pred.AttemptsMops = attemptsPerPs * 1e12 / 1e6 // per ps -> per s -> Mops
+	// Mean attempt latency from the closed-system identity
+	// N = X * (latency + think).
+	pred.AttemptLatency = sim.Time(float64(n)/attemptsPerPs - wf)
+
+	if (p == atomics.CAS || p == atomics.CAS2) && n > 1 {
+		pred.SuccessRate = CASSuccessRateFIFO(n)
+		// One thread wins every round under FIFO: Jain = 1/n.
+		pred.Jain = 1 / float64(n)
+	}
+	pred.ThroughputMops = pred.AttemptsMops * pred.SuccessRate
+
+	pred.EnergyPerOpNJ = md.energyPerOp(cores, pred)
+	return pred
+}
+
+// PredictLow predicts the low-contention setting: n threads on private
+// lines, each line always found in the owner's cache.
+func (md *Model) PredictLow(p atomics.Primitive, n int, work sim.Time) Prediction {
+	s := md.ServiceTime(p, []int{0})
+	pred := Prediction{Threads: n, ServiceTime: s, SuccessRate: 1, Jain: 1}
+	if n == 0 {
+		return pred
+	}
+	perThread := 1 / float64(s+work)
+	pred.AttemptsMops = perThread * float64(n) * 1e12 / 1e6
+	pred.ThroughputMops = pred.AttemptsMops
+	pred.AttemptLatency = s
+	pred.EnergyPerOpNJ = md.energyPerOpLow(n, pred)
+	return pred
+}
+
+// energyPerOp predicts J/op (in nJ) for the high-contention setting:
+// static+active power divided by successful throughput, plus the
+// dynamic energy of the attempts needed per success.
+func (md *Model) energyPerOp(cores []int, pred Prediction) float64 {
+	if pred.ThroughputMops == 0 {
+		return 0
+	}
+	e := md.m.Energy
+	distinct := map[int]bool{}
+	for _, c := range cores {
+		distinct[c] = true
+	}
+	watts := e.StaticWattsPerCore*float64(len(distinct)) + e.ActiveWattsPerThread*float64(len(cores))
+	staticNJ := watts / (pred.ThroughputMops * 1e6) * 1e9
+
+	// Dynamic energy per attempt: expected transfer energy over random
+	// consecutive-owner pairs (single-thread runs stay local).
+	var dynNJ float64
+	if n := len(cores); n == 1 {
+		dynNJ = e.LocalOpNJ
+	} else {
+		pairs := 0
+		for i, c := range cores {
+			for j, o := range cores {
+				if i == j {
+					continue
+				}
+				dynNJ += md.pairEnergyNJ(o, c)
+				pairs++
+			}
+		}
+		dynNJ /= float64(pairs)
+	}
+	return staticNJ + dynNJ/pred.SuccessRate
+}
+
+func (md *Model) energyPerOpLow(n int, pred Prediction) float64 {
+	if pred.ThroughputMops == 0 {
+		return 0
+	}
+	e := md.m.Energy
+	watts := (e.StaticWattsPerCore + e.ActiveWattsPerThread) * float64(n)
+	return watts/(pred.ThroughputMops*1e6)*1e9 + e.LocalOpNJ
+}
+
+// pairEnergyNJ mirrors the energy meter's per-event charging for a
+// transfer from owner o to requester c.
+func (md *Model) pairEnergyNJ(o, c int) float64 {
+	e := md.m.Energy
+	if o == c {
+		return e.LocalOpNJ
+	}
+	no, nc := md.m.NodeOf(o), md.m.NodeOf(c)
+	hops := md.m.Topo.Hops(nc, md.home) + md.m.Topo.Hops(md.home, no) + md.m.Topo.Hops(no, nc)
+	nj := e.LocalOpNJ + float64(hops)*e.PerHopNJ
+	if md.m.Topo.CrossSocket(no, nc) {
+		nj += e.CrossSocketNJ
+	}
+	return nj
+}
+
+// LowLatency predicts the latency of a single primitive whose line is
+// initially in the given state (the paper's low-contention latency
+// table). It mirrors the protocol's cost structure; the simple variant
+// substitutes its calibrated constants for the transfer terms. The
+// states and core choices match workload.MeasureStateLatency so
+// predictions and measurements are directly comparable.
+func (md *Model) LowLatency(p atomics.Primitive, st workload.LineState) (sim.Time, error) {
+	if p == atomics.Fence {
+		// A fence never touches the line: its cost is state-independent.
+		return atomics.ExecCost(md.m, p), nil
+	}
+	lat := md.m.Lat
+	exec := atomics.ExecCost(md.m, p)
+	measuredNode := md.m.NodeOf(0)
+	sameNode := md.m.NodeOf(md.m.CoresPerSocket / 2)
+	var otherNode int
+	if md.m.Sockets > 1 {
+		otherNode = md.m.NodeOf(md.m.CoresPerSocket + md.m.CoresPerSocket/2)
+	}
+	// Line 77 is the probe line MeasureStateLatency uses.
+	home := int(uint64(77) % uint64(md.m.Topo.Nodes()))
+
+	transfer := func(ownerNode int) sim.Time {
+		hops := md.m.Topo.Hops(measuredNode, home) + md.m.Topo.Hops(home, ownerNode) + md.m.Topo.Hops(ownerNode, measuredNode)
+		c := lat.DirLookup + sim.Time(hops)*lat.HopLatency
+		if md.m.Topo.CrossSocket(measuredNode, ownerNode) {
+			c += lat.CrossSocketPenalty
+		}
+		return c
+	}
+	llcTrip := func() sim.Time {
+		hops := 2 * md.m.Topo.Hops(measuredNode, home)
+		return lat.DirLookup + lat.LLCHit + sim.Time(hops)*lat.HopLatency
+	}
+
+	switch st {
+	case workload.StateModifiedLocal, workload.StateExclusiveLocal:
+		return lat.L1Hit + exec, nil
+	case workload.StateShared:
+		if !p.IsRMW() && p != atomics.Store {
+			return lat.L1Hit + exec, nil
+		}
+		return llcTrip() + lat.InvalidateCost + exec, nil
+	case workload.StateRemoteSameSocket:
+		if md.variant == Simple {
+			return md.tSame + exec - atomics.ExecCost(md.m, atomics.FAA), nil
+		}
+		return transfer(sameNode) + exec, nil
+	case workload.StateRemoteOtherSocket:
+		if md.m.Sockets < 2 {
+			return 0, fmt.Errorf("core: %s has a single socket", md.m.Name)
+		}
+		if md.variant == Simple {
+			return md.tCross + exec - atomics.ExecCost(md.m, atomics.FAA), nil
+		}
+		return transfer(otherNode) + exec, nil
+	case workload.StateLLC:
+		return llcTrip() + exec, nil
+	case workload.StateMemory:
+		hops := 2 * md.m.Topo.Hops(measuredNode, home)
+		return lat.DirLookup + lat.DRAM + sim.Time(hops)*lat.HopLatency + exec, nil
+	}
+	return 0, fmt.Errorf("core: unknown line state %d", st)
+}
+
+// MeanHopsAmongCores is a convenience re-export used by experiments to
+// report the expected transfer distance of a placement.
+func MeanHopsAmongCores(m *machine.Machine, cores []int) float64 {
+	nodes := make([]int, len(cores))
+	for i, c := range cores {
+		nodes[i] = m.NodeOf(c)
+	}
+	return topology.MeanHopsAmong(m.Topo, nodes)
+}

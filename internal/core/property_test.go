@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/machine"
+)
+
+// TestThroughputMonotonicInThreads: with zero think time and compact
+// placement, adding contenders (essentially) never raises saturated
+// throughput — the service time grows as the set spreads. A small
+// tolerance covers the legitimate exception where a larger set gains
+// cores co-located with the line's home node (cheaper transfers), as
+// happens on KNL between n=2 and n=4.
+func TestThroughputMonotonicInThreads(t *testing.T) {
+	for _, m := range machine.All() {
+		md := NewDetailed(m)
+		prev := 1e18
+		for n := 2; n <= m.NumCores(); n *= 2 {
+			x := md.PredictHigh(atomics.FAA, compactCores(m, n), 0).ThroughputMops
+			if x > prev*1.05 {
+				t.Errorf("%s: X(%d) = %.2f rose above X(%d) = %.2f", m.Name, n, x, n/2, prev)
+			}
+			prev = x
+		}
+	}
+}
+
+// TestLatencyMonotonicInThreads: saturated mean latency strictly grows
+// with the population.
+func TestLatencyMonotonicInThreads(t *testing.T) {
+	m := machine.KNL()
+	md := NewDetailed(m)
+	prev := int64(-1)
+	for n := 2; n <= 64; n *= 2 {
+		l := int64(md.PredictHigh(atomics.SWAP, compactCores(m, n), 0).AttemptLatency)
+		if l <= prev {
+			t.Fatalf("latency not increasing at n=%d", n)
+		}
+		prev = l
+	}
+}
+
+// TestServiceTimeOrderingByPrimitive: at fixed placement the primitives
+// order by execution occupancy.
+func TestServiceTimeOrderingByPrimitive(t *testing.T) {
+	for _, m := range machine.All() {
+		md := NewDetailed(m)
+		cores := compactCores(m, 8)
+		tas := md.ServiceTime(atomics.TAS, cores)
+		faa := md.ServiceTime(atomics.FAA, cores)
+		cas := md.ServiceTime(atomics.CAS, cores)
+		cas2 := md.ServiceTime(atomics.CAS2, cores)
+		if !(tas <= faa && faa <= cas && cas <= cas2) {
+			t.Errorf("%s: primitive service ordering broken: %v %v %v %v", m.Name, tas, faa, cas, cas2)
+		}
+	}
+}
+
+// TestWorkMonotonic: more think time never raises throughput and never
+// raises latency.
+func TestWorkMonotonic(t *testing.T) {
+	m := machine.XeonE5()
+	md := NewDetailed(m)
+	cores := compactCores(m, 8)
+	prevX, prevL := 1e18, int64(-1)
+	for w := int64(0); w <= 6400; w = w*2 + 100 {
+		p := md.PredictHigh(atomics.FAA, cores, machine.XeonE5().Cycles(float64(w)))
+		if p.ThroughputMops > prevX+1e-9 {
+			t.Fatalf("X rose with work at w=%d", w)
+		}
+		if int64(p.AttemptLatency) > prevL && prevL >= 0 {
+			t.Fatalf("latency rose with think time at w=%d (should fall toward s)", w)
+		}
+		prevX = p.ThroughputMops
+		prevL = int64(p.AttemptLatency)
+	}
+}
+
+// TestScatterNeverFasterThanSingleSocket: spreading over sockets cannot
+// beat staying on one, for the same thread count.
+func TestScatterNeverFasterThanSingleSocket(t *testing.T) {
+	m := machine.XeonE5()
+	md := NewDetailed(m)
+	for _, n := range []int{2, 4, 8, 16} {
+		scatterSlots, err := (machine.Scatter{}).Place(m, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		singleSlots, err := (machine.SingleSocket{}).Place(m, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		toCores := func(slots []int) []int {
+			cores := make([]int, len(slots))
+			for i, s := range slots {
+				cores[i] = m.CoreOf(s)
+			}
+			return cores
+		}
+		xs := md.PredictHigh(atomics.FAA, toCores(scatterSlots), 0).ThroughputMops
+		x1 := md.PredictHigh(atomics.FAA, toCores(singleSlots), 0).ThroughputMops
+		if xs > x1 {
+			t.Errorf("n=%d: scatter %.2f beat single-socket %.2f", n, xs, x1)
+		}
+	}
+}

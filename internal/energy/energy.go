@@ -1,0 +1,102 @@
+// Package energy models the power and energy accounting the paper does
+// with RAPL counters. The meter subscribes to coherence trace events and
+// charges a per-event dynamic energy by provenance (local hit, remote
+// transfer per hop, cross-socket, LLC, DRAM), then adds static power
+// integrated over the run for every active core and thread. Absolute
+// joules are synthetic; the reproduced quantity is the *shape* of
+// energy-per-operation versus thread count and contention level.
+package energy
+
+import (
+	"fmt"
+
+	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/sim"
+)
+
+// Meter accumulates dynamic energy from coherence events. Install
+// Observe as the coherence system's tracer.
+type Meter struct {
+	m         *machine.Machine
+	dynamicNJ float64
+	events    uint64
+}
+
+// NewMeter returns a meter for machine m.
+func NewMeter(m *machine.Machine) *Meter { return &Meter{m: m} }
+
+// Observe charges the dynamic energy of one coherence access. It is
+// shaped to be used directly: sys.SetTracer(meter.Observe).
+func (mt *Meter) Observe(ev coherence.TraceEvent) {
+	e := &mt.m.Energy
+	nj := 0.0
+	switch ev.Result.Source {
+	case coherence.SrcLocal:
+		nj = e.LocalOpNJ
+	case coherence.SrcRemoteCache:
+		nj = e.LocalOpNJ + float64(ev.Result.Hops)*e.PerHopNJ
+		if ev.Result.CrossSocket {
+			nj += e.CrossSocketNJ
+		}
+	case coherence.SrcLLC:
+		nj = e.LLCNJ + float64(ev.Result.Hops)*e.PerHopNJ
+	case coherence.SrcDRAM:
+		nj = e.DRAMNJ + float64(ev.Result.Hops)*e.PerHopNJ
+	}
+	mt.dynamicNJ += nj
+	mt.events++
+}
+
+// DynamicNJ returns the accumulated dynamic energy in nanojoules.
+func (mt *Meter) DynamicNJ() float64 { return mt.dynamicNJ }
+
+// Events returns the number of observed accesses.
+func (mt *Meter) Events() uint64 { return mt.events }
+
+// Reset clears the meter between experiment repetitions.
+func (mt *Meter) Reset() { mt.dynamicNJ, mt.events = 0, 0 }
+
+// Report summarizes a run's energy.
+type Report struct {
+	// StaticJ is leakage/uncore energy for the cores hosting threads.
+	StaticJ float64
+	// ActiveJ is the busy-thread energy (spinning threads burn this
+	// without making progress).
+	ActiveJ float64
+	// DynamicJ is the event-charged communication/computation energy.
+	DynamicJ float64
+	// TotalJ is the sum.
+	TotalJ float64
+	// PerOpNJ is TotalJ per completed operation, in nanojoules — the
+	// paper's headline energy metric.
+	PerOpNJ float64
+	// AvgPowerW is TotalJ over the run duration.
+	AvgPowerW float64
+}
+
+// Report computes the energy report for a run of the given duration
+// with the given number of placed threads (on coresUsed distinct
+// cores) that completed ops operations.
+func (mt *Meter) Report(duration sim.Time, threads, coresUsed int, ops uint64) Report {
+	secs := duration.Seconds()
+	r := Report{
+		StaticJ:  mt.m.Energy.StaticWattsPerCore * float64(coresUsed) * secs,
+		ActiveJ:  mt.m.Energy.ActiveWattsPerThread * float64(threads) * secs,
+		DynamicJ: mt.dynamicNJ * 1e-9,
+	}
+	r.TotalJ = r.StaticJ + r.ActiveJ + r.DynamicJ
+	if ops > 0 {
+		r.PerOpNJ = r.TotalJ * 1e9 / float64(ops)
+	}
+	if secs > 0 {
+		r.AvgPowerW = r.TotalJ / secs
+	}
+	return r
+}
+
+// String renders the report compactly.
+func (r Report) String() string {
+	return fmt.Sprintf("total=%.3gJ (static %.3g, active %.3g, dynamic %.3g) %.1f nJ/op %.1f W",
+		r.TotalJ, r.StaticJ, r.ActiveJ, r.DynamicJ, r.PerOpNJ, r.AvgPowerW)
+}

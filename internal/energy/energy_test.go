@@ -1,0 +1,139 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/sim"
+)
+
+func TestObserveChargesBySource(t *testing.T) {
+	m := machine.XeonE5()
+	mt := NewMeter(m)
+	mk := func(src coherence.Source, hops int, cross bool) coherence.TraceEvent {
+		return coherence.TraceEvent{Result: coherence.AccessResult{Source: src, Hops: hops, CrossSocket: cross}}
+	}
+	mt.Observe(mk(coherence.SrcLocal, 0, false))
+	local := mt.DynamicNJ()
+	if local != m.Energy.LocalOpNJ {
+		t.Fatalf("local charge = %v", local)
+	}
+	mt.Reset()
+	mt.Observe(mk(coherence.SrcRemoteCache, 10, false))
+	intra := mt.DynamicNJ()
+	mt.Reset()
+	mt.Observe(mk(coherence.SrcRemoteCache, 10, true))
+	cross := mt.DynamicNJ()
+	if !(local < intra && intra < cross) {
+		t.Fatalf("energy ordering local(%v) < intra(%v) < cross(%v) violated", local, intra, cross)
+	}
+	mt.Reset()
+	mt.Observe(mk(coherence.SrcDRAM, 4, false))
+	if mt.DynamicNJ() <= 0 {
+		t.Fatal("DRAM charge missing")
+	}
+	if mt.Events() != 1 {
+		t.Fatalf("events = %d", mt.Events())
+	}
+}
+
+func TestReportComposition(t *testing.T) {
+	m := machine.Ideal(4) // 1 W static/core, 1 W active/thread
+	mt := NewMeter(m)
+	rep := mt.Report(sim.Second, 2, 2, 1000)
+	if rep.StaticJ != 2 || rep.ActiveJ != 2 {
+		t.Fatalf("static=%v active=%v, want 2,2", rep.StaticJ, rep.ActiveJ)
+	}
+	if rep.TotalJ != 4 {
+		t.Fatalf("total=%v", rep.TotalJ)
+	}
+	// 4 J / 1000 ops = 4e6 nJ/op.
+	if rep.PerOpNJ != 4e6 {
+		t.Fatalf("per-op = %v", rep.PerOpNJ)
+	}
+	if rep.AvgPowerW != 4 {
+		t.Fatalf("power = %v", rep.AvgPowerW)
+	}
+	// Zero ops and zero duration degrade gracefully.
+	empty := mt.Report(0, 0, 0, 0)
+	if empty.PerOpNJ != 0 || empty.AvgPowerW != 0 {
+		t.Fatalf("degenerate report: %+v", empty)
+	}
+}
+
+func TestMeterIntegratesWithSimulation(t *testing.T) {
+	eng := sim.NewEngine()
+	m := machine.XeonE5()
+	mem, err := atomics.NewMemory(eng, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := NewMeter(m)
+	mem.System().SetTracer(mt.Observe)
+
+	// Ping-pong a line between sockets: every op after the first is a
+	// cross-socket transfer and must cost more than local ops.
+	done := 0
+	var issue func(core int, n int)
+	issue = func(core, n int) {
+		if n == 0 {
+			return
+		}
+		mem.FetchAndAdd(core, 1, 1, func(atomics.Result) {
+			done++
+			issue(core, n-1)
+		})
+	}
+	issue(0, 50)  // socket 0
+	issue(20, 50) // socket 1
+	eng.Drain()
+	if done != 100 {
+		t.Fatalf("ops done = %d", done)
+	}
+	crossNJ := mt.DynamicNJ()
+
+	// Same op count on a single core: all local after warm-up.
+	mt2 := NewMeter(m)
+	eng2 := sim.NewEngine()
+	mem2, _ := atomics.NewMemory(eng2, m, nil)
+	mem2.System().SetTracer(mt2.Observe)
+	issue2 := func() {
+		n := 100
+		var next func(atomics.Result)
+		next = func(atomics.Result) {
+			n--
+			if n > 0 {
+				mem2.FetchAndAdd(0, 1, 1, next)
+			}
+		}
+		mem2.FetchAndAdd(0, 1, 1, next)
+	}
+	issue2()
+	eng2.Drain()
+	localNJ := mt2.DynamicNJ()
+
+	if crossNJ <= localNJ {
+		t.Fatalf("cross-socket dynamic energy (%v nJ) should exceed local (%v nJ)", crossNJ, localNJ)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	m := machine.Ideal(2)
+	rep := NewMeter(m).Report(sim.Second, 1, 1, 10)
+	s := rep.String()
+	if !strings.Contains(s, "nJ/op") || !strings.Contains(s, "W") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	mt := NewMeter(machine.Ideal(2))
+	mt.Observe(coherence.TraceEvent{Result: coherence.AccessResult{Source: coherence.SrcDRAM}})
+	mt.Reset()
+	if mt.DynamicNJ() != 0 || mt.Events() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}

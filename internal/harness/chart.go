@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+
+	"atomicsmodel/internal/plot"
+)
+
+// ChartFromTable converts a result table into an ASCII chart when the
+// table has a numeric sweep in its first column (threads, work, read
+// fraction, stripes): every other numeric column becomes a series. It
+// returns false for tables that are not figure-shaped (T1, F1, T2,
+// string-keyed rows).
+func ChartFromTable(t *Table) (*plot.Chart, bool) {
+	if len(t.Columns) < 2 || len(t.Rows) < 2 {
+		return nil, false
+	}
+	// The first column must be numeric in every row.
+	xs := make([]float64, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		v, err := parseCell(row[0])
+		if err != nil {
+			return nil, false
+		}
+		xs = append(xs, v)
+	}
+	c := plot.NewChart(t.Title, t.Columns[0], "")
+	series := 0
+	for col := 1; col < len(t.Columns); col++ {
+		ys := make([]float64, 0, len(t.Rows))
+		ok := true
+		for _, row := range t.Rows {
+			v, err := parseCell(row[col])
+			if err != nil {
+				ok = false
+				break
+			}
+			ys = append(ys, v)
+		}
+		if !ok {
+			continue
+		}
+		c.Add(t.Columns[col], xs, ys)
+		series++
+	}
+	if series == 0 {
+		return nil, false
+	}
+	return c, true
+}
+
+// parseCell parses a numeric cell, tolerating %-suffixed values.
+func parseCell(s string) (float64, error) {
+	s = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), "%"))
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartFromTable(t *testing.T) {
+	tb := NewTable("fig", "threads", "FAA (Mops)", "note")
+	tb.AddRow("1", "100", "warm")
+	tb.AddRow("2", "50", "warm")
+	tb.AddRow("4", "45", "warm")
+	c, ok := ChartFromTable(tb)
+	if !ok {
+		t.Fatal("figure-shaped table rejected")
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "FAA (Mops)") || strings.Contains(out, "note") {
+		t.Errorf("series selection wrong:\n%s", out)
+	}
+}
+
+func TestChartFromTableRejectsNonNumeric(t *testing.T) {
+	tb := NewTable("tab", "machine", "cores")
+	tb.AddRow("XeonE5", "36")
+	tb.AddRow("KNL", "64")
+	if _, ok := ChartFromTable(tb); ok {
+		t.Fatal("string-keyed table accepted")
+	}
+}
+
+func TestChartFromTableRejectsTiny(t *testing.T) {
+	tb := NewTable("one", "x", "y")
+	tb.AddRow("1", "2")
+	if _, ok := ChartFromTable(tb); ok {
+		t.Fatal("single-row table accepted")
+	}
+}
+
+func TestChartFromTableParsesPercent(t *testing.T) {
+	tb := NewTable("pct", "threads", "err")
+	tb.AddRow("1", "2.5%")
+	tb.AddRow("2", "5.0%")
+	if _, ok := ChartFromTable(tb); !ok {
+		t.Fatal("percent cells rejected")
+	}
+}
+
+func TestChartFromTableSkipsMixedColumns(t *testing.T) {
+	tb := NewTable("mixed", "n", "good", "bad")
+	tb.AddRow("1", "10", "x")
+	tb.AddRow("2", "20", "-")
+	c, ok := ChartFromTable(tb)
+	if !ok {
+		t.Fatal("table with one good series rejected")
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "bad") {
+		t.Error("non-numeric column plotted")
+	}
+}

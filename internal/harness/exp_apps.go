@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"atomicsmodel/internal/apps"
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/core"
+	"atomicsmodel/internal/sim"
+)
+
+func init() {
+	Register(&Experiment{
+		ID:    "F9",
+		Title: "Design decision: FAA counter vs CAS-loop counter",
+		Claim: "the model facilitates algorithmic design decisions: it predicts the FAA/CAS throughput gap",
+		Run:   runF9,
+	})
+	Register(&Experiment{
+		ID:    "F10",
+		Title: "Design decision: TAS vs TTAS vs backoff vs ticket spinlocks",
+		Claim: "lock design choices follow from how each primitive bounces the lock line",
+		Run:   runF10,
+	})
+}
+
+func runF9(o Options) ([]*Table, error) {
+	var tables []*Table
+	for _, m := range o.machines() {
+		md := core.NewDetailed(m)
+		t := NewTable("F9 ("+m.Name+"): shared counter throughput (M increments/s)",
+			"threads", "FAA counter", "CAS counter", "sim ratio", "model ratio")
+		for _, n := range o.threadSweep(m) {
+			faa, err := apps.Run(apps.RunConfig{
+				Machine: m, Threads: n,
+				Build:  func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewFAACounter(mem) },
+				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
+			})
+			if err != nil {
+				return nil, err
+			}
+			cas, err := apps.Run(apps.RunConfig{
+				Machine: m, Threads: n,
+				Build:  func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewCASCounter(mem) },
+				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
+			})
+			if err != nil {
+				return nil, err
+			}
+			cores, err := coresFor(m, nil, n)
+			if err != nil {
+				return nil, err
+			}
+			pf := md.PredictHigh(atomics.FAA, cores, 0)
+			pc := md.PredictHigh(atomics.CAS, cores, 0)
+			simRatio, modelRatio := 0.0, 0.0
+			if cas.ThroughputMops > 0 {
+				simRatio = faa.ThroughputMops / cas.ThroughputMops
+			}
+			if pc.ThroughputMops > 0 {
+				modelRatio = pf.ThroughputMops / pc.ThroughputMops
+			}
+			t.AddRow(itoa(n), f2(faa.ThroughputMops), f2(cas.ThroughputMops),
+				f2(simRatio), f2(modelRatio))
+		}
+		t.AddNote("model ratio ~ N: every CAS success pays N-1 failed-but-full-cost attempts")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func runF10(o Options) ([]*Table, error) {
+	crit := 50 * sim.Nanosecond
+	builders := []struct {
+		name string
+		mk   func(e *sim.Engine, mem *atomics.Memory) apps.App
+	}{
+		{"tas", func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewTASLock(e, mem, crit) }},
+		{"ttas", func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewTTASLock(e, mem, crit) }},
+		{"ttas-backoff", func(e *sim.Engine, mem *atomics.Memory) apps.App {
+			return apps.NewTTASBackoffLock(e, mem, crit, 100*sim.Nanosecond, 3200*sim.Nanosecond)
+		}},
+		{"ticket", func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewTicketLock(e, mem, crit) }},
+	}
+	var tables []*Table
+	for _, m := range o.machines() {
+		m := m
+		machineBuilders := builders
+		if m.Sockets > 1 {
+			machineBuilders = append(machineBuilders, struct {
+				name string
+				mk   func(e *sim.Engine, mem *atomics.Memory) apps.App
+			}{"cohort", func(e *sim.Engine, mem *atomics.Memory) apps.App {
+				return apps.NewCohortLock(e, mem, m.SocketOf, crit, 16)
+			}})
+		}
+		cols := []string{"threads"}
+		for _, b := range machineBuilders {
+			cols = append(cols, b.name+" (Mops)", b.name+" Jain")
+		}
+		t := NewTable("F10 ("+m.Name+"): lock acquire-release cycles (50ns critical section)", cols...)
+		for _, n := range o.threadSweep(m) {
+			if n < 2 {
+				continue
+			}
+			row := []string{itoa(n)}
+			for _, b := range machineBuilders {
+				res, err := apps.Run(apps.RunConfig{
+					Machine: m, Threads: n, Build: b.mk,
+					Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f2(res.ThroughputMops), f3(res.Jain))
+			}
+			t.AddRow(row...)
+		}
+		t.AddNote("ticket: FIFO-fair by construction; backoff: fewest bounces per handoff; cohort (NUMA machines): global lock crosses sockets once per cohort")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

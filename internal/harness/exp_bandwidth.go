@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/sim"
+)
+
+func init() {
+	Register(&Experiment{
+		ID:    "F16",
+		Title: "Interconnect bandwidth: an atomic storm slows unrelated traffic",
+		Claim: "with finite link bandwidth, contended atomics pollute the interconnect: victims on other lines stall behind the storm's messages",
+		Run:   runF16,
+	})
+}
+
+// runF16 runs, for each machine and link occupancy, a 12-thread FAA
+// storm on one hot line concurrently with a 2-thread ping-pong victim
+// on an unrelated line, and reports how the victim's latency degrades
+// as bandwidth tightens. Occupancy 0 is the infinite-bandwidth baseline
+// every other experiment uses.
+func runF16(o Options) ([]*Table, error) {
+	occupancies := []float64{0, 1, 2, 4, 8} // cycles per link per message
+	if o.Quick {
+		occupancies = []float64{0, 2, 8}
+	}
+	var tables []*Table
+	for _, base := range o.machines() {
+		t := NewTable("F16 ("+base.Name+"): 12-thread FAA storm vs 2-thread victim on another line",
+			"link occupancy (cyc)", "storm (Mops)", "victim latency (ns)", "victim slowdown", "stall share")
+		baselineLat := 0.0
+		for _, occ := range occupancies {
+			m := *base
+			m.LinkOccupancy = m.Cycles(occ)
+			storm, victimLat, stallShare, err := stormAndVictim(&m, o)
+			if err != nil {
+				return nil, err
+			}
+			if occ == 0 {
+				baselineLat = victimLat
+			}
+			t.AddRow(f1(occ), f2(storm), f1(victimLat), f2(victimLat/baselineLat), f3(stallShare))
+		}
+		t.AddNote("victim cores sit across the machine from each other; their transfers share links with the storm")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// stormAndVictim returns the storm's throughput (Mops), the victim's
+// mean per-op latency (ns), and the fraction of total simulated time
+// messages spent stalled on links.
+func stormAndVictim(m *machine.Machine, o Options) (stormMops, victimLatNs, stallShare float64, err error) {
+	eng := sim.NewEngine()
+	mem, err := atomics.NewMemory(eng, m, nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	const (
+		stormLine  coherence.LineID = 1
+		victimLine coherence.LineID = 2
+	)
+	stormThreads := 12
+	slots, err := (machine.Compact{}).Place(m, stormThreads+2)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	warm, end := o.warmup(), o.warmup()+o.duration()
+
+	var stormOps uint64
+	measuring := false
+	for i := 0; i < stormThreads; i++ {
+		core := m.CoreOf(slots[i])
+		var issue func()
+		issue = func() {
+			if eng.Now() >= end {
+				return
+			}
+			mem.FetchAndAdd(core, stormLine, 1, func(atomics.Result) {
+				if measuring && eng.Now() <= end {
+					stormOps++
+				}
+				issue()
+			})
+		}
+		eng.Schedule(sim.Time(i)*sim.Nanosecond, issue)
+	}
+
+	// Victim: the two remaining placed cores ping-pong their own line
+	// with a little think time (they are latency-, not
+	// throughput-bound — the paper's "innocent bystander").
+	victimA := m.CoreOf(slots[stormThreads])
+	victimB := m.CoreOf(slots[stormThreads+1])
+	var victimSum sim.Time
+	var victimN uint64
+	var ping func(core int)
+	ping = func(core int) {
+		if eng.Now() >= end {
+			return
+		}
+		mem.FetchAndAdd(core, victimLine, 1, func(r atomics.Result) {
+			if measuring && eng.Now() <= end {
+				victimSum += r.Latency
+				victimN++
+			}
+			next := victimA
+			if core == victimA {
+				next = victimB
+			}
+			eng.Schedule(50*sim.Nanosecond, func() { ping(next) })
+		})
+	}
+	eng.Schedule(0, func() { ping(victimA) })
+
+	var stallAtWarm sim.Time
+	eng.At(warm, func() {
+		measuring = true
+		stallAtWarm = mem.System().Stats().LinkStall
+	})
+	eng.Run(end)
+	if err := mem.System().CheckInvariants(); err != nil {
+		return 0, 0, 0, err
+	}
+	if victimN == 0 {
+		return 0, 0, 0, nil
+	}
+	stall := mem.System().Stats().LinkStall - stallAtWarm
+	return float64(stormOps) / o.duration().Seconds() / 1e6,
+		(victimSum / sim.Time(victimN)).Nanoseconds(),
+		stall.Seconds() / o.duration().Seconds(),
+		nil
+}

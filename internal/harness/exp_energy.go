@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/core"
+	"atomicsmodel/internal/workload"
+)
+
+func init() {
+	Register(&Experiment{
+		ID:    "F6",
+		Title: "Energy per operation vs thread count (high and low contention)",
+		Claim: "contention wastes energy: J/op grows with threads when the line serializes, stays flat when it does not",
+		Run:   runF6,
+	})
+}
+
+func runF6(o Options) ([]*Table, error) {
+	var tables []*Table
+	for _, m := range o.machines() {
+		md := core.NewDetailed(m)
+		t := NewTable("F6 ("+m.Name+"): energy per successful op (nJ)",
+			"threads", "FAA high", "model FAA high", "CAS high", "FAA low", "avg power high (W)")
+		for _, n := range o.threadSweep(m) {
+			cores, err := coresFor(m, nil, n)
+			if err != nil {
+				return nil, err
+			}
+			faaHigh, err := workload.Run(workload.Config{
+				Machine: m, Threads: n, Primitive: atomics.FAA, Mode: workload.HighContention,
+				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
+			})
+			if err != nil {
+				return nil, err
+			}
+			casHigh, err := workload.Run(workload.Config{
+				Machine: m, Threads: n, Primitive: atomics.CAS, Mode: workload.HighContention,
+				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
+			})
+			if err != nil {
+				return nil, err
+			}
+			faaLow, err := workload.Run(workload.Config{
+				Machine: m, Threads: n, Primitive: atomics.FAA, Mode: workload.LowContention,
+				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
+			})
+			if err != nil {
+				return nil, err
+			}
+			pred := md.PredictHigh(atomics.FAA, cores, 0)
+			t.AddRow(itoa(n),
+				f1(faaHigh.Energy.PerOpNJ), f1(pred.EnergyPerOpNJ),
+				f1(casHigh.Energy.PerOpNJ), f1(faaLow.Energy.PerOpNJ),
+				f1(faaHigh.Energy.AvgPowerW))
+		}
+		t.AddNote("high contention: threads spin while one op progresses, so J/op grows ~linearly")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/workload"
+)
+
+func init() {
+	Register(&Experiment{
+		ID:    "F5",
+		Title: "Fairness (Jain's index) vs thread count under different arbitration policies",
+		Claim: "fairness of atomics depends on hardware arbitration; locality-biased arbitration starves distant cores",
+		Run:   runF5,
+	})
+}
+
+func runF5(o Options) ([]*Table, error) {
+	arbs := []struct {
+		name string
+		mk   func(seed uint64) coherence.Arbiter
+	}{
+		{"fifo", func(uint64) coherence.Arbiter { return coherence.FIFOArbiter{} }},
+		{"random", func(seed uint64) coherence.Arbiter { return coherence.NewRandomArbiter(seed) }},
+		{"locality", func(uint64) coherence.Arbiter { return &coherence.LocalityArbiter{} }},
+		{"loc-bounded", func(uint64) coherence.Arbiter { return &coherence.LocalityArbiter{MaxSkips: 64} }},
+	}
+	var tables []*Table
+	for _, m := range o.machines() {
+		cols := []string{"threads"}
+		for _, a := range arbs {
+			cols = append(cols, "FAA/"+a.name)
+		}
+		cols = append(cols, "FAA min/max (loc)", "CAS/fifo")
+		t := NewTable("F5 ("+m.Name+"): Jain fairness index, high contention", cols...)
+		for _, n := range o.threadSweep(m) {
+			if n < 2 {
+				continue
+			}
+			row := []string{itoa(n)}
+			var locMinMax float64
+			for _, a := range arbs {
+				res, err := workload.Run(workload.Config{
+					Machine: m, Threads: n, Primitive: atomics.FAA,
+					Mode: workload.HighContention, Arbiter: a.mk(o.Seed + uint64(n)),
+					Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f3(res.Jain))
+				if a.name == "locality" {
+					locMinMax = res.MinMax
+				}
+			}
+			row = append(row, f3(locMinMax))
+			cas, err := workload.Run(workload.Config{
+				Machine: m, Threads: n, Primitive: atomics.CAS,
+				Mode:   workload.HighContention,
+				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(cas.Jain))
+			t.AddRow(row...)
+		}
+		t.AddNote("CAS/fifo Jain -> 1/N: the round winner keeps the freshest expected value")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/workload"
+)
+
+func init() {
+	Register(&Experiment{
+		ID:    "F1",
+		Title: "Low-contention latency of atomic primitives by initial cache-line state",
+		Claim: "latency in the low-contention setting; atomics cost like plain accesses on owned lines and pay the transfer otherwise",
+		Run:   runF1,
+	})
+	Register(&Experiment{
+		ID:    "F2",
+		Title: "High-contention per-operation latency vs thread count",
+		Claim: "latency in the high-contention setting grows linearly with threads (serialized line ownership)",
+		Run:   runF2,
+	})
+}
+
+func runF1(o Options) ([]*Table, error) {
+	var tables []*Table
+	for _, m := range o.machines() {
+		cols := []string{"primitive"}
+		var states []workload.LineState
+		for _, st := range workload.AllLineStates() {
+			if st == workload.StateRemoteOtherSocket && m.Sockets < 2 {
+				continue
+			}
+			states = append(states, st)
+			cols = append(cols, st.String()+" (ns)")
+		}
+		t := NewTable("F1 ("+m.Name+"): single-op latency by line state", cols...)
+		for _, p := range atomics.All() {
+			row := []string{p.String()}
+			for _, st := range states {
+				lat, err := workload.MeasureStateLatency(m, p, st)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, ns(lat))
+			}
+			t.AddRow(row...)
+		}
+		t.AddNote("machine: %s", m.String())
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func runF2(o Options) ([]*Table, error) {
+	prims := atomics.All()
+	var tables []*Table
+	for _, m := range o.machines() {
+		cols := []string{"threads"}
+		for _, p := range prims {
+			cols = append(cols, p.String()+" (ns)")
+		}
+		t := NewTable("F2 ("+m.Name+"): mean per-op latency under high contention", cols...)
+		for _, n := range o.threadSweep(m) {
+			row := []string{itoa(n)}
+			for _, p := range prims {
+				res, err := workload.Run(workload.Config{
+					Machine: m, Threads: n, Primitive: p, Mode: workload.HighContention,
+					Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, ns(res.Latency.Mean()))
+			}
+			t.AddRow(row...)
+		}
+		t.AddNote("per-attempt latency; loads are near-flat (shared copies), RMWs serialize on the line")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

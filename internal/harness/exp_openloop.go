@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/core"
+	"atomicsmodel/internal/sim"
+	"atomicsmodel/internal/workload"
+)
+
+func init() {
+	Register(&Experiment{
+		ID:    "F19",
+		Title: "Open-loop saturation: offered load vs achieved throughput and latency",
+		Claim: "the line is a server with rate 1/s: offered load below it is absorbed at flat latency, above it the queue explodes exactly where the model says",
+		Run:   runF19,
+	})
+}
+
+func runF19(o Options) ([]*Table, error) {
+	const threads = 16
+	// Offered load as a fraction of the model's predicted saturation
+	// throughput.
+	fractions := []float64{0.25, 0.5, 0.75, 0.9, 1.1, 1.5}
+	if o.Quick {
+		fractions = []float64{0.5, 0.9, 1.5}
+	}
+	var tables []*Table
+	for _, m := range o.machines() {
+		if threads > m.NumHWThreads() {
+			continue
+		}
+		cores, err := coresFor(m, nil, threads)
+		if err != nil {
+			return nil, err
+		}
+		md := core.NewDetailed(m)
+		sat := md.PredictHigh(atomics.FAA, cores, 0) // server rate 1/s
+		t := NewTable("F19 ("+m.Name+"): open-loop FAA, 16 arrival streams",
+			"offered/saturation", "offered (Mops)", "achieved (Mops)", "mean latency (ns)", "p99 (ns)")
+		for _, f := range fractions {
+			offered := f * sat.ThroughputMops // total Mops
+			// Per-thread mean inter-arrival = threads / offered.
+			inter := sim.Time(float64(threads) / (offered * 1e6) * 1e12)
+			res, err := workload.Run(workload.Config{
+				Machine: m, Threads: threads, Primitive: atomics.FAA,
+				Mode:     workload.HighContention,
+				OpenLoop: true, OpenLoopInterarrival: inter,
+				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(f2(f), f2(offered), f2(res.ThroughputMops),
+				ns(res.Latency.Mean()), ns(res.Latency.Quantile(0.99)))
+		}
+		t.AddNote("model saturation: %.2f Mops (service time %v)", sat.ThroughputMops, sat.ServiceTime)
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/core"
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/workload"
+)
+
+func init() {
+	Register(&Experiment{
+		ID:    "F11",
+		Title: "Thread placement effect on contended atomics (compact vs scatter vs single-socket)",
+		Claim: "the model's transfer costs are placement-dependent: cross-socket bouncing dominates on NUMA",
+		Run:   runF11,
+	})
+	Register(&Experiment{
+		ID:    "T1",
+		Title: "Evaluated machine configurations",
+		Claim: "the two state-of-the-art architectures under study",
+		Run:   runT1,
+	})
+}
+
+func runF11(o Options) ([]*Table, error) {
+	placements := []machine.Placement{
+		machine.Compact{}, machine.Scatter{}, machine.SingleSocket{Socket: 0}, machine.SMTFirst{},
+	}
+	var tables []*Table
+	for _, m := range o.machines() {
+		if m.Sockets < 2 && m.ThreadsPerCore < 2 {
+			continue // placement is immaterial
+		}
+		md := core.NewDetailed(m)
+		cols := []string{"threads"}
+		for _, p := range placements {
+			cols = append(cols, p.Name()+" (Mops)", p.Name()+" model")
+		}
+		t := NewTable("F11 ("+m.Name+"): FAA throughput by placement, high contention", cols...)
+		sweep := []int{2, 4, 8, 16}
+		if o.Quick {
+			sweep = []int{2, 8}
+		}
+		for _, n := range sweep {
+			row := []string{itoa(n)}
+			for _, p := range placements {
+				slots, err := p.Place(m, n)
+				if err != nil {
+					row = append(row, "-", "-")
+					continue
+				}
+				res, err := workload.Run(workload.Config{
+					Machine: m, Threads: n, Primitive: atomics.FAA,
+					Mode: workload.HighContention, Placement: p,
+					Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
+				})
+				if err != nil {
+					return nil, err
+				}
+				cores := make([]int, n)
+				for i, s := range slots {
+					cores[i] = m.CoreOf(s)
+				}
+				pred := md.PredictHigh(atomics.FAA, cores, 0)
+				row = append(row, f2(res.ThroughputMops), f2(pred.ThroughputMops))
+			}
+			t.AddRow(row...)
+		}
+		t.AddNote("scatter forces cross-socket transfers on every handoff; smt-first shares L1s")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func runT1(o Options) ([]*Table, error) {
+	t := NewTable("T1: machine configurations",
+		"machine", "sockets x cores x SMT", "freq (GHz)", "topology",
+		"L1 (ns)", "LLC (ns)", "DRAM (ns)", "FAA exec (ns)", "cross-socket pen. (ns)")
+	for _, m := range o.machines() {
+		t.AddRow(m.Name,
+			itoa(m.Sockets)+"x"+itoa(m.CoresPerSocket)+"x"+itoa(m.ThreadsPerCore),
+			f1(m.FreqGHz), m.Topo.Name(),
+			ns(m.Lat.L1Hit), ns(m.Lat.LLCHit), ns(m.Lat.DRAM),
+			ns(m.Lat.ExecFAA), ns(m.Lat.CrossSocketPenalty))
+	}
+	t.AddNote("latency constants calibrated to publicly reported figures for these parts (see DESIGN.md)")
+	return []*Table{t}, nil
+}

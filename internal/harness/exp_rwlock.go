@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"atomicsmodel/internal/apps"
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/sim"
+)
+
+func init() {
+	Register(&Experiment{
+		ID:    "F20",
+		Title: "Design decision: central vs distributed (per-reader-slot) reader-writer locks",
+		Claim: "read-mostly synchronization wants per-thread lines: a central RW word turns every read into a bounce",
+		Run:   runF20,
+	})
+}
+
+func runF20(o Options) ([]*Table, error) {
+	fracs := []float64{0.50, 0.90, 0.98, 1.00}
+	if o.Quick {
+		fracs = []float64{0.50, 0.98}
+	}
+	const threads = 16
+	var tables []*Table
+	for _, m := range o.machines() {
+		if threads > m.NumHWThreads() {
+			continue
+		}
+		t := NewTable("F20 ("+m.Name+"): RW-lock sections/s (M), 16 threads, 20ns sections",
+			"read fraction", "central (Mops)", "distributed (Mops)", "speedup", "violations")
+		for _, rf := range fracs {
+			rf := rf
+			var central *apps.CentralRWLock
+			cRes, err := apps.Run(apps.RunConfig{
+				Machine: m, Threads: threads,
+				Build: func(e *sim.Engine, mem *atomics.Memory) apps.App {
+					central = apps.NewCentralRWLock(e, mem, rf, 20*sim.Nanosecond)
+					return central
+				},
+				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			var dist *apps.DistributedRWLock
+			dRes, err := apps.Run(apps.RunConfig{
+				Machine: m, Threads: threads,
+				Build: func(e *sim.Engine, mem *atomics.Memory) apps.App {
+					dist = apps.NewDistributedRWLock(e, mem, threads, rf, 20*sim.Nanosecond)
+					return dist
+				},
+				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(f2(rf), f2(cRes.ThroughputMops), f2(dRes.ThroughputMops),
+				f2(dRes.ThroughputMops/cRes.ThroughputMops),
+				itoa(central.Violations()+dist.Violations()))
+		}
+		t.AddNote("violations column is the in-simulator mutual-exclusion check (must be 0)")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"atomicsmodel/internal/apps"
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/sim"
+)
+
+func init() {
+	Register(&Experiment{
+		ID:    "F18",
+		Title: "Design decision: Treiber stack vs elimination-backoff stack vs MS queue",
+		Claim: "the model's remedy for a contended top pointer: route colliding pairs around the hot line entirely",
+		Run:   runF18,
+	})
+}
+
+func runF18(o Options) ([]*Table, error) {
+	var tables []*Table
+	for _, m := range o.machines() {
+		t := NewTable("F18 ("+m.Name+"): concurrent stack/queue ops (50/50 push-pop mix)",
+			"threads", "treiber (Mops)", "elim-4slot (Mops)", "elim-16slot (Mops)",
+			"elim rate (16)", "ms-queue (Mops)")
+		sweep := []int{4, 8, 16, 32}
+		if o.Quick {
+			sweep = []int{8, 16}
+		}
+		for _, n := range sweep {
+			if n > m.NumHWThreads() {
+				continue
+			}
+			treiber, err := apps.Run(apps.RunConfig{
+				Machine: m, Threads: n,
+				Build: func(e *sim.Engine, mem *atomics.Memory) apps.App {
+					return apps.NewTreiberStack(mem, 256)
+				},
+				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
+			})
+			if err != nil {
+				return nil, err
+			}
+			elim := func(slots int) (*apps.RunResult, *apps.EliminationStack, error) {
+				var st *apps.EliminationStack
+				res, err := apps.Run(apps.RunConfig{
+					Machine: m, Threads: n,
+					Build: func(e *sim.Engine, mem *atomics.Memory) apps.App {
+						st = apps.NewEliminationStack(e, mem, 256, slots, 200*sim.Nanosecond)
+						return st
+					},
+					Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
+				})
+				return res, st, err
+			}
+			e4, _, err := elim(4)
+			if err != nil {
+				return nil, err
+			}
+			e16, st16, err := elim(16)
+			if err != nil {
+				return nil, err
+			}
+			queue, err := apps.Run(apps.RunConfig{
+				Machine: m, Threads: n,
+				Build: func(e *sim.Engine, mem *atomics.Memory) apps.App {
+					return apps.NewMSQueue(mem, 256)
+				},
+				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
+			})
+			if err != nil {
+				return nil, err
+			}
+			elimRate := 0.0
+			if e16.TotalOps > 0 {
+				elimRate = float64(st16.Eliminations()) / float64(e16.TotalOps)
+			}
+			t.AddRow(itoa(n), f2(treiber.ThroughputMops), f2(e4.ThroughputMops),
+				f2(e16.ThroughputMops), f3(elimRate), f2(queue.ThroughputMops))
+		}
+		t.AddNote("elim rate = fraction of ops completed in the collision array instead of on the top pointer")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/sim"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Machines to evaluate; nil means machine.All().
+	Machines []*machine.Machine
+	// Quick trims sweeps and shortens simulated durations for CI-speed
+	// runs; full runs match the reported EXPERIMENTS.md numbers.
+	Quick bool
+	// Seed is the base seed; distinct configurations derive their own.
+	Seed uint64
+}
+
+func (o Options) machines() []*machine.Machine {
+	if len(o.Machines) > 0 {
+		return o.Machines
+	}
+	return machine.All()
+}
+
+// warmup and duration return the measurement window for this option set.
+func (o Options) warmup() sim.Time {
+	if o.Quick {
+		return 10 * sim.Microsecond
+	}
+	return 25 * sim.Microsecond
+}
+
+func (o Options) duration() sim.Time {
+	if o.Quick {
+		return 100 * sim.Microsecond
+	}
+	return 400 * sim.Microsecond
+}
+
+// threadSweep returns the thread counts to evaluate on machine m.
+func (o Options) threadSweep(m *machine.Machine) []int {
+	var pts []int
+	if o.Quick {
+		pts = []int{1, 2, 4, 8, 16}
+	} else {
+		switch m.Name {
+		case "XeonE5":
+			pts = []int{1, 2, 4, 8, 12, 16, 18, 24, 30, 36, 48, 72}
+		case "KNL":
+			pts = []int{1, 2, 4, 8, 16, 32, 48, 64, 128, 256}
+		default:
+			pts = []int{1, 2, 4, 8}
+		}
+	}
+	out := pts[:0:0]
+	for _, n := range pts {
+		if n <= m.NumHWThreads() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment struct {
+	// ID is the stable identifier (e.g. "F3").
+	ID string
+	// Title is the figure/table caption.
+	Title string
+	// Claim states which abstract claim the experiment exercises.
+	Claim string
+	// Run produces the result tables.
+	Run func(o Options) ([]*Table, error)
+}
+
+var registry = map[string]*Experiment{}
+
+// Register adds an experiment; duplicate IDs panic at init time.
+func Register(e *Experiment) {
+	if e.ID == "" || e.Run == nil {
+		panic("harness: experiment needs ID and Run")
+	}
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("harness: duplicate experiment %s", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// ByID returns a registered experiment.
+func ByID(id string) (*Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs returns all registered experiment IDs in display order (T1 first,
+// then F1..Fn, then T2; lexicographic within the same prefix+number).
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return orderKey(ids[i]) < orderKey(ids[j]) })
+	return ids
+}
+
+// orderKey sorts T1 before figures and T2 after, figures numerically.
+func orderKey(id string) int {
+	var n int
+	fmt.Sscanf(id[1:], "%d", &n)
+	switch {
+	case id == "T1":
+		return 0
+	case id[0] == 'F':
+		return n
+	default: // T2 and anything else trails
+		return 1000 + n
+	}
+}
+
+// All returns every experiment in display order.
+func All() []*Experiment {
+	out := make([]*Experiment, 0, len(registry))
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}

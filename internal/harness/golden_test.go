@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"atomicsmodel/internal/machine"
+)
+
+// TestGoldenF1Xeon pins the exact F1 latency table for the Xeon: any
+// change to machine constants, protocol cost structure, or rendering
+// shows up here first. Update deliberately when those change.
+func TestGoldenF1Xeon(t *testing.T) {
+	e, err := ByID("F1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(Options{Machines: []*machine.Machine{machine.XeonE5()}, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	var sb strings.Builder
+	if err := tables[0].Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := strings.Join([]string{
+		"F1 (XeonE5): single-op latency by line state",
+		"primitive  M-local (ns)  E-local (ns)  Shared (ns)  M-remote-socket0 (ns)  M-remote-socket1 (ns)  LLC (ns)  DRAM (ns)",
+		"---------------------------------------------------------------------------------------------------------------------",
+		"CAS        9.6           9.6           60.4         38.3                   115.8                  50.4      103.3    ",
+		"FAA        8.7           8.7           59.6         37.5                   115.0                  49.6      102.5    ",
+		"SWAP       8.7           8.7           59.6         37.5                   115.0                  49.6      102.5    ",
+		"TAS        8.3           8.3           59.2         37.1                   114.6                  49.2      102.1    ",
+		"CAS2       12.1          12.1          62.9         40.8                   118.3                  52.9      105.8    ",
+		"Load       1.7           1.7           1.7          30.4                   107.9                  42.5      95.4     ",
+		"Store      2.1           2.1           52.9         30.8                   108.3                  42.9      95.8     ",
+		"Fence      13.8          13.8          13.8         13.8                   13.8                   13.8      13.8     ",
+		"  note: machine: XeonE5 (2×18 cores ×2 SMT @ 2.4 GHz, dualring-2x18)",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("golden F1 table changed.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestGoldenCalibrationKNL pins the KNL calibration constants.
+func TestGoldenCalibrationKNL(t *testing.T) {
+	e, err := ByID("T2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(Options{Machines: []*machine.Machine{machine.KNL()}, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tables[0].Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, wantFrag := range []string{"KNL", "26.2", "127.7"} {
+		if !strings.Contains(got, wantFrag) {
+			t.Errorf("calibration golden missing %q:\n%s", wantFrag, got)
+		}
+	}
+}

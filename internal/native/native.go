@@ -1,0 +1,155 @@
+// Package native runs the paper's microbenchmarks on the host CPU with
+// Go's sync/atomic, as a qualitative cross-check of the simulator. Go
+// cannot pin goroutines to cores or control cache-line placement (the
+// reason the quantitative substrate of this reproduction is the
+// simulator — see DESIGN.md), but the first-order contrasts the paper
+// reports are still visible natively: contended throughput does not
+// scale with threads, FAA sustains a higher successful-update rate than
+// a CAS loop, and private counters scale linearly.
+package native
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/stats"
+)
+
+// Mode selects the contention setting (mirrors the workload package).
+type Mode uint8
+
+const (
+	// HighContention: all goroutines target one cache line.
+	HighContention Mode = iota
+	// LowContention: each goroutine has a private, padded line.
+	LowContention
+)
+
+// padded is one cache-line-sized slot: the value sits alone on its line
+// so low-contention runs do not false-share.
+type padded struct {
+	v uint64
+	_ [7]uint64
+}
+
+// Config parameterizes a native run.
+type Config struct {
+	Threads   int
+	Primitive atomics.Primitive
+	Mode      Mode
+	Duration  time.Duration
+	// Pin calls runtime.LockOSThread in each worker so goroutines stay
+	// on stable OS threads (the closest Go gets to affinity).
+	Pin bool
+}
+
+// Result reports a native run.
+type Result struct {
+	Ops            uint64
+	Attempts       uint64
+	Failures       uint64
+	PerThreadOps   []uint64
+	Wall           time.Duration
+	ThroughputMops float64
+	Jain           float64
+	SuccessRate    float64
+}
+
+// Run executes the configured native microbenchmark.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("native: Threads = %d", cfg.Threads)
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 100 * time.Millisecond
+	}
+	switch cfg.Primitive {
+	case atomics.CAS, atomics.FAA, atomics.SWAP, atomics.Load, atomics.Store:
+	default:
+		return nil, fmt.Errorf("native: primitive %v not supported natively (TAS maps to CAS on Go)", cfg.Primitive)
+	}
+
+	shared := new(padded)
+	private := make([]padded, cfg.Threads)
+	var stop atomic.Bool
+	perOps := make([]uint64, cfg.Threads)
+	perAttempts := make([]uint64, cfg.Threads)
+
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(cfg.Threads)
+	for i := 0; i < cfg.Threads; i++ {
+		go func(id int) {
+			defer done.Done()
+			if cfg.Pin {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
+			target := &shared.v
+			if cfg.Mode == LowContention {
+				target = &private[id].v
+			}
+			start.Wait()
+			var ops, attempts uint64
+			expected := atomic.LoadUint64(target)
+			for !stop.Load() {
+				switch cfg.Primitive {
+				case atomics.FAA:
+					atomic.AddUint64(target, 1)
+					ops++
+					attempts++
+				case atomics.SWAP:
+					atomic.SwapUint64(target, uint64(id))
+					ops++
+					attempts++
+				case atomics.CAS:
+					attempts++
+					if atomic.CompareAndSwapUint64(target, expected, expected+1) {
+						expected++
+						ops++
+					} else {
+						expected = atomic.LoadUint64(target)
+					}
+				case atomics.Load:
+					if atomic.LoadUint64(target) == ^uint64(0) {
+						panic("unreachable; defeats dead-code elimination")
+					}
+					ops++
+					attempts++
+				case atomics.Store:
+					atomic.StoreUint64(target, uint64(id))
+					ops++
+					attempts++
+				}
+			}
+			perOps[id] = ops
+			perAttempts[id] = attempts
+		}(i)
+	}
+
+	begin := time.Now()
+	start.Done()
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	done.Wait()
+	wall := time.Since(begin)
+
+	res := &Result{PerThreadOps: perOps, Wall: wall}
+	for i := range perOps {
+		res.Ops += perOps[i]
+		res.Attempts += perAttempts[i]
+	}
+	res.Failures = res.Attempts - res.Ops
+	res.ThroughputMops = float64(res.Ops) / wall.Seconds() / 1e6
+	res.Jain = stats.JainIndex(perOps)
+	if res.Attempts > 0 {
+		res.SuccessRate = float64(res.Ops) / float64(res.Attempts)
+	} else {
+		res.SuccessRate = 1
+	}
+	return res, nil
+}

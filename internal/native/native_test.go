@@ -1,0 +1,113 @@
+package native
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"atomicsmodel/internal/atomics"
+)
+
+func shortCfg(p atomics.Primitive, threads int, mode Mode) Config {
+	return Config{Threads: threads, Primitive: p, Mode: mode, Duration: 30 * time.Millisecond}
+}
+
+func TestRunFAA(t *testing.T) {
+	res, err := Run(shortCfg(atomics.FAA, 2, HighContention))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no ops")
+	}
+	if res.Failures != 0 || res.SuccessRate != 1 {
+		t.Fatalf("FAA should not fail: %+v", res)
+	}
+	if res.ThroughputMops <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestRunCASFailsUnderContention(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skip("needs 2 CPUs for real contention")
+	}
+	res, err := Run(shortCfg(atomics.CAS, 4, HighContention))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures == 0 {
+		t.Log("contended CAS never failed natively (possible on an idle box, but unusual)")
+	}
+	if res.SuccessRate > 1 {
+		t.Fatalf("success rate %v", res.SuccessRate)
+	}
+}
+
+func TestLowContentionScales(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skip("needs 4 CPUs")
+	}
+	solo, err := Run(shortCfg(atomics.FAA, 1, LowContention))
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Run(shortCfg(atomics.FAA, 4, LowContention))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.ThroughputMops < 2*solo.ThroughputMops {
+		t.Logf("weak scaling on this host: 1t=%.1f 4t=%.1f Mops (noisy CI is fine)",
+			solo.ThroughputMops, multi.ThroughputMops)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Config{Threads: 0, Primitive: atomics.FAA}); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := Run(Config{Threads: 1, Primitive: atomics.TAS}); err == nil {
+		t.Error("TAS should be rejected natively")
+	}
+}
+
+func TestAllSupportedPrimitivesRun(t *testing.T) {
+	for _, p := range []atomics.Primitive{atomics.CAS, atomics.FAA, atomics.SWAP, atomics.Load, atomics.Store} {
+		res, err := Run(Config{Threads: 2, Primitive: p, Duration: 10 * time.Millisecond})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.Ops == 0 {
+			t.Fatalf("%v: no ops", p)
+		}
+	}
+}
+
+func TestPerThreadAccounting(t *testing.T) {
+	res, err := Run(shortCfg(atomics.FAA, 3, HighContention))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, v := range res.PerThreadOps {
+		sum += v
+	}
+	if sum != res.Ops {
+		t.Fatalf("per-thread sum %d != ops %d", sum, res.Ops)
+	}
+	if res.Jain <= 0 || res.Jain > 1 {
+		t.Fatalf("Jain = %v", res.Jain)
+	}
+}
+
+func TestPinnedRun(t *testing.T) {
+	cfg := shortCfg(atomics.FAA, 2, HighContention)
+	cfg.Pin = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no ops when pinned")
+	}
+}

@@ -1,0 +1,247 @@
+// Package plot renders experiment series as ASCII line charts, so the
+// harness's figures are figures and not only tables. Charts support
+// multiple series, linear or logarithmic axes, and automatic legends —
+// enough to eyeball every curve shape the paper reports from a
+// terminal.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a renderable ASCII chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot-area dimensions in characters
+	// (defaults 64x20 when zero).
+	Width, Height int
+	// LogY plots the Y axis in log10 (non-positive values clamp to the
+	// smallest positive Y).
+	LogY bool
+	// LogX plots the X axis in log10.
+	LogX   bool
+	series []Series
+}
+
+// NewChart creates an empty chart.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// Add appends a series. Points with mismatched X/Y lengths are
+// truncated to the shorter side.
+func (c *Chart) Add(name string, x, y []float64) {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	c.series = append(c.series, Series{Name: name, X: x[:n], Y: y[:n]})
+}
+
+// markers assigns one rune per series, cycling if needed.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+	// Collect bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	minPosY, minPosX := math.Inf(1), math.Inf(1)
+	points := 0
+	for _, s := range c.series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			points++
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+			if y > 0 {
+				minPosY = math.Min(minPosY, y)
+			}
+			if x > 0 {
+				minPosX = math.Min(minPosX, x)
+			}
+		}
+	}
+	if points == 0 {
+		_, err := fmt.Fprintf(w, "%s\n  (no data)\n", c.Title)
+		return err
+	}
+
+	tx := func(x float64) float64 { return x }
+	ty := func(y float64) float64 { return y }
+	if c.LogX {
+		if !(minPosX < math.Inf(1)) {
+			return fmt.Errorf("plot: LogX with no positive X values")
+		}
+		tx = func(x float64) float64 {
+			if x <= 0 {
+				x = minPosX
+			}
+			return math.Log10(x)
+		}
+		minX, maxX = tx(minX), tx(maxX)
+		if minX > maxX {
+			minX = maxX
+		}
+	}
+	if c.LogY {
+		if !(minPosY < math.Inf(1)) {
+			return fmt.Errorf("plot: LogY with no positive Y values")
+		}
+		ty = func(y float64) float64 {
+			if y <= 0 {
+				y = minPosY
+			}
+			return math.Log10(y)
+		}
+		minY, maxY = ty(minY), ty(maxY)
+		if minY > maxY {
+			minY = maxY
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		f := (tx(x) - minX) / (maxX - minX)
+		i := int(math.Round(f * float64(width-1)))
+		if i < 0 {
+			i = 0
+		}
+		if i >= width {
+			i = width - 1
+		}
+		return i
+	}
+	row := func(y float64) int {
+		f := (ty(y) - minY) / (maxY - minY)
+		i := int(math.Round(f * float64(height-1)))
+		if i < 0 {
+			i = 0
+		}
+		if i >= height {
+			i = height - 1
+		}
+		return height - 1 - i
+	}
+	for si, s := range c.series {
+		mk := markers[si%len(markers)]
+		// Connect consecutive points with interpolated marks, then
+		// stamp the data points on top.
+		for i := 1; i < len(s.X); i++ {
+			c0, r0 := col(s.X[i-1]), row(s.Y[i-1])
+			c1, r1 := col(s.X[i]), row(s.Y[i])
+			steps := abs(c1-c0) + abs(r1-r0)
+			for st := 0; st <= steps; st++ {
+				f := 0.0
+				if steps > 0 {
+					f = float64(st) / float64(steps)
+				}
+				cc := c0 + int(math.Round(f*float64(c1-c0)))
+				rr := r0 + int(math.Round(f*float64(r1-r0)))
+				if grid[rr][cc] == ' ' {
+					grid[rr][cc] = '.'
+				}
+			}
+		}
+		for i := range s.X {
+			grid[row(s.Y[i])][col(s.X[i])] = mk
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", c.Title)
+	yTop, yBot := c.axisLabel(maxY, c.LogY), c.axisLabel(minY, c.LogY)
+	labelWidth := len(yTop)
+	for _, s := range []string{yBot, c.YLabel} {
+		if len(s) > labelWidth {
+			labelWidth = len(s)
+		}
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		switch r {
+		case 0:
+			label = pad(yTop, labelWidth)
+		case height - 1:
+			label = pad(yBot, labelWidth)
+		case height / 2:
+			label = pad(c.YLabel, labelWidth)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", width))
+	xl := c.axisLabel(minX, c.LogX)
+	xr := c.axisLabel(maxX, c.LogX)
+	gap := width - len(xl) - len(xr) - len(c.XLabel)
+	if gap < 2 {
+		gap = 2
+	}
+	fmt.Fprintf(&b, "%s %s%s%s%s%s\n", strings.Repeat(" ", labelWidth), xl,
+		strings.Repeat(" ", gap/2), c.XLabel, strings.Repeat(" ", gap-gap/2), xr)
+	for si, s := range c.series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// axisLabel formats an axis endpoint, undoing the log transform so the
+// label shows the data value.
+func (c *Chart) axisLabel(v float64, isLog bool) string {
+	if isLog {
+		v = math.Pow(10, v)
+	}
+	switch {
+	case v != 0 && (math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3):
+		return fmt.Sprintf("%.2g", v)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s[:w]
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,131 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, c *Chart) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestBasicChart(t *testing.T) {
+	c := NewChart("throughput", "threads", "Mops")
+	c.Add("FAA", []float64{1, 2, 4, 8}, []float64{100, 50, 45, 40})
+	c.Add("CAS", []float64{1, 2, 4, 8}, []float64{100, 25, 12, 5})
+	out := render(t, c)
+	for _, want := range []string{"throughput", "threads", "Mops", "FAA", "CAS", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in chart:\n%s", want, out)
+		}
+	}
+	// Axis endpoints rendered as data values.
+	if !strings.Contains(out, "100") || !strings.Contains(out, "8") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestEmptyChart(t *testing.T) {
+	c := NewChart("empty", "x", "y")
+	out := render(t, c)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart output: %s", out)
+	}
+}
+
+func TestLogAxes(t *testing.T) {
+	c := NewChart("log", "n", "v")
+	c.LogY = true
+	c.LogX = true
+	c.Add("s", []float64{1, 10, 100, 1000}, []float64{1, 0.1, 0.01, 0.001})
+	out := render(t, c)
+	// Log-log straight line: marker should appear on both diagonal ends.
+	if !strings.Contains(out, "*") {
+		t.Errorf("no markers:\n%s", out)
+	}
+	// Labels show the original values, not the logs.
+	if !strings.Contains(out, "1000") {
+		t.Errorf("x label not de-logged:\n%s", out)
+	}
+}
+
+func TestLogYRejectsAllNonPositive(t *testing.T) {
+	c := NewChart("bad", "x", "y")
+	c.LogY = true
+	c.Add("s", []float64{1, 2}, []float64{0, -1})
+	var sb strings.Builder
+	if err := c.Render(&sb); err == nil {
+		t.Fatal("LogY with no positive values should error")
+	}
+}
+
+func TestNaNAndInfSkipped(t *testing.T) {
+	c := NewChart("nan", "x", "y")
+	c.Add("s", []float64{1, 2, 3}, []float64{1, math.NaN(), math.Inf(1)})
+	out := render(t, c)
+	if strings.Contains(out, "(no data)") {
+		t.Error("valid point dropped")
+	}
+}
+
+func TestMismatchedLengthsTruncated(t *testing.T) {
+	c := NewChart("t", "x", "y")
+	c.Add("s", []float64{1, 2, 3}, []float64{5})
+	out := render(t, c)
+	if strings.Contains(out, "(no data)") {
+		t.Error("single point should plot")
+	}
+}
+
+func TestConstantSeries(t *testing.T) {
+	c := NewChart("flat", "x", "y")
+	c.Add("s", []float64{1, 2, 3}, []float64{7, 7, 7})
+	out := render(t, c)
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series missing markers:\n%s", out)
+	}
+}
+
+func TestCustomDimensions(t *testing.T) {
+	c := NewChart("dims", "x", "y")
+	c.Width, c.Height = 20, 5
+	c.Add("s", []float64{0, 1}, []float64{0, 1})
+	out := render(t, c)
+	lines := strings.Split(out, "\n")
+	plotLines := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines++
+		}
+	}
+	if plotLines != 5 {
+		t.Errorf("plot rows = %d, want 5", plotLines)
+	}
+}
+
+func TestManySeriesCycleMarkers(t *testing.T) {
+	c := NewChart("many", "x", "y")
+	for i := 0; i < 10; i++ {
+		c.Add("s", []float64{1, 2}, []float64{float64(i), float64(i + 1)})
+	}
+	out := render(t, c)
+	if !strings.Contains(out, "@") { // 6th marker
+		t.Errorf("marker cycling broken:\n%s", out)
+	}
+}
+
+func TestLinesConnectPoints(t *testing.T) {
+	c := NewChart("line", "x", "y")
+	c.Width, c.Height = 21, 11
+	c.Add("s", []float64{0, 10}, []float64{0, 10})
+	out := render(t, c)
+	if !strings.Contains(out, ".") {
+		t.Errorf("no interpolation dots between distant points:\n%s", out)
+	}
+}

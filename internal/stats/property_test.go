@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"atomicsmodel/internal/sim"
+)
+
+// TestHistogramQuantileAgainstExactReference checks the histogram's
+// quantiles against exact order statistics on random data: the log
+// buckets promise ~9% relative error.
+func TestHistogramQuantileAgainstExactReference(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%2000) + 100
+		rng := sim.NewRNG(seed)
+		h := NewHistogram()
+		data := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v := sim.Time(rng.Uint64()%uint64(10*sim.Microsecond)) + 1
+			h.Record(v)
+			data[i] = float64(v)
+		}
+		sort.Float64s(data)
+		for _, q := range []float64{0.25, 0.5, 0.75, 0.9} {
+			exact := data[int(q*float64(n))]
+			got := float64(h.Quantile(q))
+			if math.Abs(got-exact)/exact > 0.15 {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHistogramMergeEquivalence: merging two histograms equals recording
+// everything into one.
+func TestHistogramMergeEquivalence(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		a, b, all := NewHistogram(), NewHistogram(), NewHistogram()
+		for i := 0; i < 500; i++ {
+			v := sim.Time(rng.Uint64() % uint64(sim.Millisecond))
+			if i%2 == 0 {
+				a.Record(v)
+			} else {
+				b.Record(v)
+			}
+			all.Record(v)
+		}
+		a.Merge(b)
+		return a.Count() == all.Count() &&
+			a.Mean() == all.Mean() &&
+			a.Min() == all.Min() && a.Max() == all.Max() &&
+			a.Quantile(0.5) == all.Quantile(0.5)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFairnessMetricConsistency ties the three fairness metrics
+// together on random inputs: perfectly balanced input maxes all three;
+// and Jain >= 1/n always.
+func TestFairnessMetricConsistency(t *testing.T) {
+	if err := quick.Check(func(xs []uint64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		j := JainIndex(xs)
+		if j < 1/float64(len(xs))-1e-9 || j > 1+1e-9 {
+			return false
+		}
+		// CoV and Jain agree on perfect balance.
+		balanced := true
+		for _, x := range xs {
+			if x != xs[0] {
+				balanced = false
+			}
+		}
+		if balanced && xs[0] > 0 {
+			return j > 1-1e-9 && CoV(xs) < 1e-9 && MinMaxRatio(xs) == 1
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

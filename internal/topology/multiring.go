@@ -1,0 +1,106 @@
+package topology
+
+import "fmt"
+
+// MultiRing generalizes DualRing to S sockets: each socket is a
+// bidirectional ring of PerSocket stops, and the sockets' stop-0
+// nodes are joined by a fully connected inter-socket fabric (one
+// point-to-point channel per socket pair, the QPI/UPI full-mesh of
+// 4-socket Xeon systems). It exists for the socket-count scaling
+// extrapolation (experiment F17): the paper measures two sockets; the
+// model predicts what more sockets would do.
+type MultiRing struct {
+	Sockets   int
+	PerSocket int
+	LinkHops  int // hop-equivalent weight of each inter-socket channel
+}
+
+// NewMultiRing returns an s-socket ring-of-rings.
+func NewMultiRing(sockets, perSocket, linkHops int) *MultiRing {
+	if sockets <= 0 || perSocket <= 0 {
+		panic("topology: multiring needs positive sockets and stops")
+	}
+	if linkHops < 0 {
+		panic("topology: negative link hops")
+	}
+	return &MultiRing{Sockets: sockets, PerSocket: perSocket, LinkHops: linkHops}
+}
+
+func (m *MultiRing) Name() string {
+	return fmt.Sprintf("multiring-%dx%d", m.Sockets, m.PerSocket)
+}
+
+func (m *MultiRing) Nodes() int { return m.Sockets * m.PerSocket }
+
+func (m *MultiRing) socket(n int) int { return n / m.PerSocket }
+func (m *MultiRing) local(n int) int  { return n % m.PerSocket }
+
+func (m *MultiRing) ringHops(a, b int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if alt := m.PerSocket - d; alt < d {
+		d = alt
+	}
+	return d
+}
+
+// Hops implements Topology.
+func (m *MultiRing) Hops(a, b int) int {
+	checkNode(m, a)
+	checkNode(m, b)
+	sa, sb := m.socket(a), m.socket(b)
+	la, lb := m.local(a), m.local(b)
+	if sa == sb {
+		return m.ringHops(la, lb)
+	}
+	// Ride to the fabric stop, cross the direct channel, ride out.
+	return m.ringHops(la, 0) + m.LinkHops + m.ringHops(0, lb)
+}
+
+// CrossSocket implements Topology.
+func (m *MultiRing) CrossSocket(a, b int) bool {
+	checkNode(m, a)
+	checkNode(m, b)
+	return m.socket(a) != m.socket(b)
+}
+
+// Links implements Router: each socket's ring links come first
+// (PerSocket links per socket), then one channel per socket pair.
+func (m *MultiRing) Links() int {
+	return m.Sockets*m.PerSocket + m.Sockets*(m.Sockets-1)/2
+}
+
+// pairLink returns the link ID of the inter-socket channel between
+// sockets x < y.
+func (m *MultiRing) pairLink(x, y int) int {
+	if x > y {
+		x, y = y, x
+	}
+	// Index of pair (x, y) in lexicographic order.
+	idx := x*(2*m.Sockets-x-1)/2 + (y - x - 1)
+	return m.Sockets*m.PerSocket + idx
+}
+
+// Path implements Router.
+func (m *MultiRing) Path(a, b int) []int {
+	checkNode(m, a)
+	checkNode(m, b)
+	sa, sb := m.socket(a), m.socket(b)
+	la, lb := m.local(a), m.local(b)
+	if sa == sb {
+		return ringPath(la, lb, m.PerSocket, sa*m.PerSocket)
+	}
+	out := ringPath(la, 0, m.PerSocket, sa*m.PerSocket)
+	out = append(out, m.pairLink(sa, sb))
+	return append(out, ringPath(0, lb, m.PerSocket, sb*m.PerSocket)...)
+}
+
+// LinkTransit implements Router.
+func (m *MultiRing) LinkTransit(link int) int {
+	if link >= m.Sockets*m.PerSocket {
+		return m.LinkHops
+	}
+	return 1
+}

@@ -1,0 +1,99 @@
+package topology
+
+import "testing"
+
+func TestMultiRingMatchesDualRing(t *testing.T) {
+	// With 2 sockets, MultiRing must agree with DualRing everywhere.
+	mr := NewMultiRing(2, 6, 2)
+	dr := NewDualRing(6, 2)
+	if mr.Nodes() != dr.Nodes() {
+		t.Fatal("node counts differ")
+	}
+	for a := 0; a < mr.Nodes(); a++ {
+		for b := 0; b < mr.Nodes(); b++ {
+			if mr.Hops(a, b) != dr.Hops(a, b) {
+				t.Fatalf("Hops(%d,%d): multi %d vs dual %d", a, b, mr.Hops(a, b), dr.Hops(a, b))
+			}
+			if mr.CrossSocket(a, b) != dr.CrossSocket(a, b) {
+				t.Fatalf("CrossSocket(%d,%d) differs", a, b)
+			}
+		}
+	}
+}
+
+func TestMultiRingFourSockets(t *testing.T) {
+	m := NewMultiRing(4, 4, 2)
+	if m.Nodes() != 16 {
+		t.Fatalf("nodes = %d", m.Nodes())
+	}
+	// Any two sockets are one channel apart (full mesh): socket 0
+	// stop 0 to socket 3 stop 0 = LinkHops only.
+	if got := m.Hops(0, 12); got != 2 {
+		t.Fatalf("Hops(0,12) = %d, want 2", got)
+	}
+	if !m.CrossSocket(0, 12) || m.CrossSocket(1, 2) {
+		t.Fatal("cross-socket classification")
+	}
+	// Symmetry.
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			if m.Hops(a, b) != m.Hops(b, a) {
+				t.Fatalf("asymmetric at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+func TestMultiRingPaths(t *testing.T) {
+	m := NewMultiRing(3, 4, 2)
+	// Link count: 3*4 ring links + 3 pair channels.
+	if m.Links() != 15 {
+		t.Fatalf("links = %d, want 15", m.Links())
+	}
+	// Distinct socket pairs get distinct channels.
+	seen := map[int]bool{}
+	for x := 0; x < 3; x++ {
+		for y := x + 1; y < 3; y++ {
+			l := m.pairLink(x, y)
+			if l < 12 || l >= 15 {
+				t.Fatalf("pairLink(%d,%d) = %d out of range", x, y, l)
+			}
+			if seen[l] {
+				t.Fatalf("pairLink collision at %d", l)
+			}
+			seen[l] = true
+			if m.pairLink(y, x) != l {
+				t.Fatal("pairLink not symmetric")
+			}
+		}
+	}
+	// Path transit weights sum to Hops.
+	for a := 0; a < m.Nodes(); a++ {
+		for b := 0; b < m.Nodes(); b++ {
+			sum := 0
+			for _, l := range m.Path(a, b) {
+				sum += m.LinkTransit(l)
+			}
+			if sum != m.Hops(a, b) {
+				t.Fatalf("Path weight %d != Hops %d for (%d,%d)", sum, m.Hops(a, b), a, b)
+			}
+		}
+	}
+}
+
+func TestMultiRingConstructorPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewMultiRing(0, 4, 1) },
+		func() { NewMultiRing(2, 0, 1) },
+		func() { NewMultiRing(2, 4, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d accepted", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,249 @@
+// Package topology models on-chip and cross-socket interconnects at the
+// granularity the paper's cache-line bouncing model needs: the number of
+// network hops a cache-line transfer traverses between two nodes, and
+// whether the transfer crosses a socket boundary.
+//
+// A "node" is a network stop (a tile holding one core on KNL, one core's
+// ring stop on Xeon E5). The machine package maps hardware threads onto
+// nodes; this package is purely geometric.
+package topology
+
+import "fmt"
+
+// Topology describes an interconnect's geometry.
+type Topology interface {
+	// Name identifies the topology in tables and logs.
+	Name() string
+	// Nodes is the number of network stops.
+	Nodes() int
+	// Hops returns the number of link traversals for a message from node
+	// a to node b. Hops(a, a) is 0. Implementations panic on out-of-range
+	// nodes: node indices come from machine descriptions, so a bad index
+	// is a programming error, not an input error.
+	Hops(a, b int) int
+	// CrossSocket reports whether a transfer between a and b leaves the
+	// socket (and therefore pays the inter-socket link latency).
+	CrossSocket(a, b int) bool
+}
+
+func checkNode(t Topology, n int) {
+	if n < 0 || n >= t.Nodes() {
+		panic(fmt.Sprintf("topology: node %d out of range [0,%d)", n, t.Nodes()))
+	}
+}
+
+// Ring is a single bidirectional ring, the idealized single-socket Xeon E5
+// uncore: a message takes the shorter way around.
+type Ring struct {
+	N int // number of stops
+}
+
+// NewRing returns a bidirectional ring with n stops.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		panic("topology: ring needs at least one stop")
+	}
+	return &Ring{N: n}
+}
+
+func (r *Ring) Name() string { return fmt.Sprintf("ring-%d", r.N) }
+func (r *Ring) Nodes() int   { return r.N }
+
+func (r *Ring) Hops(a, b int) int {
+	checkNode(r, a)
+	checkNode(r, b)
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if alt := r.N - d; alt < d {
+		d = alt
+	}
+	return d
+}
+
+// CrossSocket is always false: a single ring is one socket.
+func (r *Ring) CrossSocket(a, b int) bool { return false }
+
+// DualRing models a two-socket Xeon E5: each socket is a bidirectional
+// ring of PerSocket stops, and the sockets are joined by a point-to-point
+// link (QPI/UPI) attached at stop 0 of each ring. A cross-socket transfer
+// rides ring A to its link stop, crosses the link (LinkHops hops worth of
+// latency), and rides ring B to the destination.
+type DualRing struct {
+	PerSocket int
+	LinkHops  int // hop-equivalent cost of the inter-socket link
+}
+
+// NewDualRing returns a two-socket dual ring with perSocket stops per
+// socket and the inter-socket link costed as linkHops ring hops.
+func NewDualRing(perSocket, linkHops int) *DualRing {
+	if perSocket <= 0 {
+		panic("topology: dual ring needs at least one stop per socket")
+	}
+	if linkHops < 0 {
+		panic("topology: negative link hops")
+	}
+	return &DualRing{PerSocket: perSocket, LinkHops: linkHops}
+}
+
+func (d *DualRing) Name() string { return fmt.Sprintf("dualring-2x%d", d.PerSocket) }
+func (d *DualRing) Nodes() int   { return 2 * d.PerSocket }
+
+func (d *DualRing) socket(n int) int { return n / d.PerSocket }
+func (d *DualRing) local(n int) int  { return n % d.PerSocket }
+
+func (d *DualRing) ringHops(a, b int) int {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	if alt := d.PerSocket - diff; alt < diff {
+		diff = alt
+	}
+	return diff
+}
+
+func (d *DualRing) Hops(a, b int) int {
+	checkNode(d, a)
+	checkNode(d, b)
+	sa, sb := d.socket(a), d.socket(b)
+	la, lb := d.local(a), d.local(b)
+	if sa == sb {
+		return d.ringHops(la, lb)
+	}
+	// Ride to the link stop (local 0), cross, ride to destination.
+	return d.ringHops(la, 0) + d.LinkHops + d.ringHops(0, lb)
+}
+
+func (d *DualRing) CrossSocket(a, b int) bool {
+	checkNode(d, a)
+	checkNode(d, b)
+	return d.socket(a) != d.socket(b)
+}
+
+// Mesh2D is a 2D mesh with dimension-ordered (X then Y) routing, the KNL
+// tile fabric. Node i sits at (i%Cols, i/Cols).
+type Mesh2D struct {
+	Cols, Rows int
+}
+
+// NewMesh2D returns a cols x rows mesh.
+func NewMesh2D(cols, rows int) *Mesh2D {
+	if cols <= 0 || rows <= 0 {
+		panic("topology: mesh dimensions must be positive")
+	}
+	return &Mesh2D{Cols: cols, Rows: rows}
+}
+
+func (m *Mesh2D) Name() string { return fmt.Sprintf("mesh-%dx%d", m.Cols, m.Rows) }
+func (m *Mesh2D) Nodes() int   { return m.Cols * m.Rows }
+
+// Coord returns the (x, y) position of node n.
+func (m *Mesh2D) Coord(n int) (x, y int) { return n % m.Cols, n / m.Cols }
+
+func (m *Mesh2D) Hops(a, b int) int {
+	checkNode(m, a)
+	checkNode(m, b)
+	ax, ay := m.Coord(a)
+	bx, by := m.Coord(b)
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// CrossSocket is always false: KNL is a single-socket part.
+func (m *Mesh2D) CrossSocket(a, b int) bool { return false }
+
+// Crossbar is an idealized all-to-all interconnect where every remote
+// transfer costs exactly one hop. It exists for model ablations: running
+// an experiment on a crossbar isolates protocol serialization from
+// topology distance effects.
+type Crossbar struct {
+	N int
+}
+
+// NewCrossbar returns an ideal crossbar over n nodes.
+func NewCrossbar(n int) *Crossbar {
+	if n <= 0 {
+		panic("topology: crossbar needs at least one node")
+	}
+	return &Crossbar{N: n}
+}
+
+func (c *Crossbar) Name() string { return fmt.Sprintf("crossbar-%d", c.N) }
+func (c *Crossbar) Nodes() int   { return c.N }
+
+func (c *Crossbar) Hops(a, b int) int {
+	checkNode(c, a)
+	checkNode(c, b)
+	if a == b {
+		return 0
+	}
+	return 1
+}
+
+func (c *Crossbar) CrossSocket(a, b int) bool { return false }
+
+// MeanHops returns the average hop distance over all ordered pairs of
+// distinct nodes. The analytical model uses it as the expected transfer
+// distance when requesters are uniformly spread.
+func MeanHops(t Topology) float64 {
+	n := t.Nodes()
+	if n < 2 {
+		return 0
+	}
+	sum := 0
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b {
+				sum += t.Hops(a, b)
+			}
+		}
+	}
+	return float64(sum) / float64(n*(n-1))
+}
+
+// MeanHopsAmong returns the average hop distance over ordered pairs of
+// distinct nodes drawn from the given subset. This is the expected
+// line-transfer distance when only those nodes contend.
+func MeanHopsAmong(t Topology, nodes []int) float64 {
+	if len(nodes) < 2 {
+		return 0
+	}
+	sum, pairs := 0, 0
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a != b {
+				sum += t.Hops(a, b)
+				pairs++
+			}
+		}
+	}
+	return float64(sum) / float64(pairs)
+}
+
+// CrossSocketFraction returns the fraction of ordered distinct pairs from
+// the subset whose transfers cross sockets.
+func CrossSocketFraction(t Topology, nodes []int) float64 {
+	if len(nodes) < 2 {
+		return 0
+	}
+	cross, pairs := 0, 0
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a != b {
+				pairs++
+				if t.CrossSocket(a, b) {
+					cross++
+				}
+			}
+		}
+	}
+	return float64(cross) / float64(pairs)
+}

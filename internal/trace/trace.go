@@ -1,0 +1,209 @@
+// Package trace records the coherence-level life of cache lines during
+// a simulation — who owned the line when, how it moved, how requests
+// convoyed — and computes the summary statistics the paper's analysis
+// narrates: ownership-run lengths (does one core monopolize the line?),
+// transfer distance distribution, and inter-acquisition gaps.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/sim"
+)
+
+// Event is one recorded access (a thin copy of coherence.TraceEvent).
+type Event struct {
+	At      sim.Time
+	Core    int
+	Kind    coherence.Kind
+	Source  coherence.Source
+	Hops    int
+	Cross   bool
+	Latency sim.Time
+	Value   uint64
+}
+
+// Recorder captures events for one line. Install Observe as (or within)
+// the coherence system's tracer.
+type Recorder struct {
+	Line   coherence.LineID
+	events []Event
+	// Cap bounds memory for long runs; 0 means unlimited. When the cap
+	// is hit, recording stops (the prefix stays valid).
+	Cap int
+}
+
+// NewRecorder records accesses to the given line, keeping at most cap
+// events (0 = unlimited).
+func NewRecorder(line coherence.LineID, cap int) *Recorder {
+	return &Recorder{Line: line, Cap: cap}
+}
+
+// Observe is the tracer hook.
+func (r *Recorder) Observe(ev coherence.TraceEvent) {
+	if ev.Line != r.Line {
+		return
+	}
+	if r.Cap > 0 && len(r.events) >= r.Cap {
+		return
+	}
+	r.events = append(r.events, Event{
+		At:      ev.At,
+		Core:    ev.Core,
+		Kind:    ev.Kind,
+		Source:  ev.Result.Source,
+		Hops:    ev.Result.Hops,
+		Cross:   ev.Result.CrossSocket,
+		Latency: ev.Result.Latency,
+		Value:   ev.Result.Value,
+	})
+}
+
+// Events returns the recorded events in completion order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Summary is the line-bouncing statistics of a recorded run.
+type Summary struct {
+	// Accesses counts recorded events; RMWs counts the RFO subset.
+	Accesses, RMWs int
+	// Transfers counts ownership changes (consecutive RFOs by
+	// different cores).
+	Transfers int
+	// MeanRun is the mean ownership-run length: how many consecutive
+	// RFOs the same core completed before losing the line. 1 means the
+	// line bounced on every operation; large values mean monopoly.
+	MeanRun float64
+	// MaxRun is the longest ownership run.
+	MaxRun int
+	// MeanHops is the mean hop count over transferring RFOs.
+	MeanHops float64
+	// CrossFraction is the fraction of transfers crossing sockets.
+	CrossFraction float64
+	// MeanGap is the mean simulated time between consecutive RMW
+	// completions (the line's service period under saturation).
+	MeanGap sim.Time
+	// DistinctCores is how many cores completed at least one RMW.
+	DistinctCores int
+}
+
+// Summarize computes the statistics of the recorded events.
+func (r *Recorder) Summarize() Summary {
+	var s Summary
+	s.Accesses = len(r.events)
+	var runs []int
+	run := 0
+	lastCore := -1
+	var lastAt sim.Time
+	var gaps sim.Time
+	gapN := 0
+	hopSum, hopN, crossN := 0, 0, 0
+	cores := map[int]bool{}
+	for _, ev := range r.events {
+		if ev.Kind != coherence.RFO {
+			continue
+		}
+		s.RMWs++
+		cores[ev.Core] = true
+		if ev.Core == lastCore {
+			run++
+		} else {
+			if run > 0 {
+				runs = append(runs, run)
+			}
+			if lastCore >= 0 {
+				s.Transfers++
+			}
+			run = 1
+			lastCore = ev.Core
+		}
+		if s.RMWs > 1 {
+			gaps += ev.At - lastAt
+			gapN++
+		}
+		lastAt = ev.At
+		if ev.Source == coherence.SrcRemoteCache || ev.Source == coherence.SrcLLC || ev.Source == coherence.SrcDRAM {
+			hopSum += ev.Hops
+			hopN++
+			if ev.Cross {
+				crossN++
+			}
+		}
+	}
+	if run > 0 {
+		runs = append(runs, run)
+	}
+	if len(runs) > 0 {
+		sum := 0
+		for _, v := range runs {
+			sum += v
+			if v > s.MaxRun {
+				s.MaxRun = v
+			}
+		}
+		s.MeanRun = float64(sum) / float64(len(runs))
+	}
+	if hopN > 0 {
+		s.MeanHops = float64(hopSum) / float64(hopN)
+	}
+	if s.Transfers > 0 {
+		s.CrossFraction = float64(crossN) / float64(hopN)
+	}
+	if gapN > 0 {
+		s.MeanGap = gaps / sim.Time(gapN)
+	}
+	s.DistinctCores = len(cores)
+	return s
+}
+
+// OwnershipShares returns, per core, the fraction of RMWs it completed,
+// sorted descending — the "who got the line" histogram behind the
+// fairness results.
+func (r *Recorder) OwnershipShares() []CoreShare {
+	counts := map[int]int{}
+	total := 0
+	for _, ev := range r.events {
+		if ev.Kind == coherence.RFO {
+			counts[ev.Core]++
+			total++
+		}
+	}
+	out := make([]CoreShare, 0, len(counts))
+	for c, n := range counts {
+		out = append(out, CoreShare{Core: c, Share: float64(n) / float64(total)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		return out[i].Core < out[j].Core
+	})
+	return out
+}
+
+// CoreShare is one core's fraction of completed RMWs.
+type CoreShare struct {
+	Core  int
+	Share float64
+}
+
+// WriteCSV dumps the recorded events as CSV.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_ns,core,kind,source,hops,cross_socket,latency_ns,value"); err != nil {
+		return err
+	}
+	for _, ev := range r.events {
+		cross := 0
+		if ev.Cross {
+			cross = 1
+		}
+		if _, err := fmt.Fprintf(w, "%.2f,%d,%s,%s,%d,%d,%.2f,%d\n",
+			ev.At.Nanoseconds(), ev.Core, ev.Kind, ev.Source,
+			ev.Hops, cross, ev.Latency.Nanoseconds(), ev.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

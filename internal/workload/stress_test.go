@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"testing"
+
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/sim"
+)
+
+// Failure-injection and pathological-parameter tests: the simulator
+// must degrade gracefully, not hang or panic, under hostile inputs.
+
+func TestZeroLatencyMachineRejected(t *testing.T) {
+	m := machine.Ideal(4)
+	m.Lat = machine.Latencies{} // all zero: would spin the event loop
+	cfg := quickCfg(m, atomics.FAA, 2)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("all-zero latency table accepted (risking a live-lock)")
+	}
+}
+
+func TestNegativeLatencyRejected(t *testing.T) {
+	m := machine.Ideal(4)
+	m.Lat.DRAM = -sim.Nanosecond
+	if _, err := Run(quickCfg(m, atomics.FAA, 2)); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+}
+
+func TestHugeLatenciesComplete(t *testing.T) {
+	m := machine.Ideal(4)
+	m.Lat.DRAM = sim.Second // absurd but legal
+	m.Lat.LLCHit = 100 * sim.Millisecond
+	cfg := quickCfg(m, atomics.FAA, 2)
+	cfg.Warmup = sim.Microsecond
+	cfg.Duration = 10 * sim.Microsecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first DRAM fetch outlasts the whole run: zero ops is the
+	// correct graceful answer.
+	if res.Ops != 0 {
+		t.Fatalf("ops = %d with second-long DRAM", res.Ops)
+	}
+	if res.Jain != 1 || res.ThroughputMops != 0 {
+		t.Fatalf("degenerate results not graceful: %+v", res)
+	}
+}
+
+func TestTinyMeasurementWindow(t *testing.T) {
+	cfg := quickCfg(machine.Ideal(4), atomics.FAA, 2)
+	cfg.Warmup = sim.Nanosecond
+	cfg.Duration = sim.Nanosecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuccessRate() != 1 && res.Attempts == 0 {
+		t.Fatal("success rate of empty run should be 1")
+	}
+}
+
+func TestSingleCoreMachine(t *testing.T) {
+	m := machine.Ideal(1)
+	res, err := Run(quickCfg(m, atomics.CAS, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 {
+		t.Fatal("solo CAS failed")
+	}
+}
+
+func TestAllPrimitivesAllModesMatrix(t *testing.T) {
+	// Smoke every (primitive, mode) combination on both machines: no
+	// panics, invariants hold (Run checks them), ops flow.
+	for _, m := range machine.All() {
+		for _, p := range atomics.All() {
+			for _, mode := range []Mode{HighContention, LowContention} {
+				cfg := Config{
+					Machine: m, Threads: 4, Primitive: p, Mode: mode,
+					Warmup: 2 * sim.Microsecond, Duration: 20 * sim.Microsecond, Seed: 9,
+				}
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("%s %v %v: %v", m.Name, p, mode, err)
+				}
+				if res.Ops == 0 && p != atomics.CAS && p != atomics.CAS2 {
+					t.Errorf("%s %v %v: no ops", m.Name, p, mode)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxThreadsBothMachines(t *testing.T) {
+	for _, m := range machine.All() {
+		cfg := quickCfg(m, atomics.FAA, m.NumHWThreads())
+		cfg.Duration = 50 * sim.Microsecond
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s full subscription: %v", m.Name, err)
+		}
+		if res.Ops == 0 {
+			t.Fatalf("%s: no ops at full subscription", m.Name)
+		}
+	}
+}
+
+func TestBandwidthWorkloadEndToEnd(t *testing.T) {
+	// Finite bandwidth through the whole workload stack.
+	m := machine.XeonE5()
+	m.LinkOccupancy = m.Cycles(4)
+	free := machine.XeonE5()
+	rLim, err := Run(quickCfg(m, atomics.FAA, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFree, err := Run(quickCfg(free, atomics.FAA, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rLim.Coh.LinkStall == 0 {
+		t.Fatal("no link stall under finite bandwidth")
+	}
+	if rLim.ThroughputMops > rFree.ThroughputMops {
+		t.Fatalf("finite bandwidth sped things up: %v > %v", rLim.ThroughputMops, rFree.ThroughputMops)
+	}
+}
+
+func TestCASRetryLoopTerminatesUnderPressure(t *testing.T) {
+	// 36 threads in a retry loop: every span eventually completes (no
+	// livelock) because FIFO arbitration guarantees each failed CAS
+	// re-observes a fresh value.
+	cfg := quickCfg(machine.XeonE5(), atomics.CAS, 36)
+	cfg.CASRetryLoop = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuccessLatency.Count() == 0 {
+		t.Fatal("no successful spans at 36 threads")
+	}
+}

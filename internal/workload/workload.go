@@ -1,0 +1,398 @@
+// Package workload implements the paper's two benchmark settings — the
+// high-contention setting (all threads hammer one shared cache line)
+// and the low-contention setting (each thread works on private lines) —
+// plus a read/write-mix variant, as closed-loop simulated workloads:
+// each simulated thread repeatedly performs optional local work and one
+// atomic primitive, and the harness measures latency, throughput,
+// per-thread fairness, and energy over a warmed-up window.
+package workload
+
+import (
+	"fmt"
+
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/energy"
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/sim"
+	"atomicsmodel/internal/stats"
+)
+
+// Mode selects the contention setting.
+type Mode uint8
+
+const (
+	// HighContention: every thread targets the same line(s).
+	HighContention Mode = iota
+	// LowContention: every thread targets its own private lines.
+	LowContention
+	// ReadWriteMix: threads read a shared line with probability
+	// ReadFraction and otherwise perform the RMW primitive on it.
+	ReadWriteMix
+)
+
+func (m Mode) String() string {
+	switch m {
+	case HighContention:
+		return "high-contention"
+	case LowContention:
+		return "low-contention"
+	case ReadWriteMix:
+		return "read-write-mix"
+	}
+	return "unknown"
+}
+
+// Config parameterizes one run.
+type Config struct {
+	Machine   *machine.Machine
+	Arbiter   coherence.Arbiter // nil means FIFO
+	Placement machine.Placement // nil means Compact
+	Threads   int
+	Primitive atomics.Primitive
+	Mode      Mode
+	// LocalWork is think time between operations (the paper's knob that
+	// moves a workload from high to low contention). Zero means
+	// back-to-back operations.
+	LocalWork sim.Time
+	// WorkJitter draws think times from an exponential distribution
+	// with mean LocalWork instead of a constant.
+	WorkJitter bool
+	// Lines is how many lines each contention group uses: shared lines
+	// in HighContention mode (default 1), private lines per thread in
+	// LowContention mode (default 16).
+	Lines int
+	// ReadFraction applies in ReadWriteMix mode.
+	ReadFraction float64
+	// Warmup and Duration bound the run; only operations completing in
+	// [Warmup, Warmup+Duration] are measured. Defaults: 20µs / 200µs.
+	Warmup   sim.Time
+	Duration sim.Time
+	Seed     uint64
+	// CASRetryLoop makes CAS threads retry until success (the lock-free
+	// update loop) rather than counting each blind attempt as one op.
+	// Either way failed attempts are recorded as failures.
+	CASRetryLoop bool
+	// OpenLoop switches from the closed-loop (issue, wait, think,
+	// repeat) pattern to an open-loop arrival process: each thread
+	// issues operations at exponentially distributed inter-arrival
+	// times with mean OpenLoopInterarrival, without waiting for
+	// completions. Past the line's saturation point the latency grows
+	// without bound — the knee the model places at 1/serviceTime.
+	OpenLoop bool
+	// OpenLoopInterarrival is the per-thread mean inter-arrival time
+	// (required when OpenLoop is set).
+	OpenLoopInterarrival sim.Time
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Machine == nil {
+		return fmt.Errorf("workload: Machine is required")
+	}
+	if c.Threads <= 0 {
+		return fmt.Errorf("workload: Threads = %d", c.Threads)
+	}
+	if c.Placement == nil {
+		c.Placement = machine.Compact{}
+	}
+	if c.Lines <= 0 {
+		if c.Mode == LowContention {
+			c.Lines = 16
+		} else {
+			c.Lines = 1
+		}
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 20 * sim.Microsecond
+	}
+	if c.Duration <= 0 {
+		c.Duration = 200 * sim.Microsecond
+	}
+	if c.Mode == ReadWriteMix && (c.ReadFraction < 0 || c.ReadFraction > 1) {
+		return fmt.Errorf("workload: ReadFraction %v out of [0,1]", c.ReadFraction)
+	}
+	if c.OpenLoop {
+		if c.OpenLoopInterarrival <= 0 {
+			return fmt.Errorf("workload: OpenLoop requires a positive OpenLoopInterarrival")
+		}
+		if c.CASRetryLoop {
+			return fmt.Errorf("workload: OpenLoop and CASRetryLoop are mutually exclusive")
+		}
+	}
+	return nil
+}
+
+// Result reports one run's measurements.
+type Result struct {
+	Config Config
+	// Ops counts successful operations completed in the measured
+	// window (failed CAS attempts are not ops).
+	Ops uint64
+	// Attempts counts all completed primitives including failed CAS.
+	Attempts uint64
+	// Failures counts failed CAS attempts.
+	Failures uint64
+	// PerThreadOps is successful ops per logical thread, for fairness.
+	PerThreadOps []uint64
+	// Latency is the distribution of per-attempt latencies. For CAS
+	// retry loops, SuccessLatency additionally measures read-to-success
+	// spans (the cost of getting one update done).
+	Latency        *stats.Histogram
+	SuccessLatency *stats.Histogram
+	// MeasuredFor is the measurement window length.
+	MeasuredFor sim.Time
+	// ThroughputMops is successful ops per second, in millions.
+	ThroughputMops float64
+	// Fairness metrics over PerThreadOps.
+	Jain, CoV, MinMax float64
+	// Energy is the energy report for the measured window.
+	Energy energy.Report
+	// Coh is the coherence counter delta for the measured window.
+	Coh coherence.Stats
+}
+
+// SuccessRate returns Ops/Attempts (1 when there were no attempts).
+func (r *Result) SuccessRate() float64 {
+	if r.Attempts == 0 {
+		return 1
+	}
+	return float64(r.Ops) / float64(r.Attempts)
+}
+
+// thread is one simulated worker.
+type thread struct {
+	id   int
+	core int
+	rng  *sim.RNG
+	// lines this thread operates on (shared or private per Mode).
+	lines []coherence.LineID
+	next  int
+	// lastSeen drives the CAS expected value.
+	lastSeen uint64
+	// spanStart marks the start of the current CAS retry span.
+	spanStart sim.Time
+	inSpan    bool
+}
+
+type runner struct {
+	cfg   Config
+	eng   *sim.Engine
+	mem   *atomics.Memory
+	meter *energy.Meter
+
+	threads   []*thread
+	measuring bool
+	endAt     sim.Time
+
+	ops      uint64
+	attempts uint64
+	failures uint64
+	perOps   []uint64
+	lat      *stats.Histogram
+	slat     *stats.Histogram
+}
+
+// Run executes one configured workload and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	slots, err := cfg.Placement.Place(cfg.Machine, cfg.Threads)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	mem, err := atomics.NewMemory(eng, cfg.Machine, cfg.Arbiter)
+	if err != nil {
+		return nil, err
+	}
+	meter := energy.NewMeter(cfg.Machine)
+	mem.System().SetTracer(meter.Observe)
+
+	r := &runner{
+		cfg:    cfg,
+		eng:    eng,
+		mem:    mem,
+		meter:  meter,
+		perOps: make([]uint64, cfg.Threads),
+		lat:    stats.NewHistogram(),
+		slat:   stats.NewHistogram(),
+		endAt:  cfg.Warmup + cfg.Duration,
+	}
+	root := sim.NewRNG(cfg.Seed)
+	for i := 0; i < cfg.Threads; i++ {
+		th := &thread{id: i, core: cfg.Machine.CoreOf(slots[i]), rng: root.Split()}
+		th.lines = r.linesFor(i)
+		r.threads = append(r.threads, th)
+	}
+
+	// Stagger thread starts by a few ns so the initial convoy is not an
+	// artifact of simultaneous issue. Open-loop threads instead run an
+	// arrival process that issues without waiting for completions.
+	for _, th := range r.threads {
+		th := th
+		if cfg.OpenLoop {
+			var arrive func()
+			arrive = func() {
+				if eng.Now() >= r.endAt {
+					return
+				}
+				r.operate(th)
+				eng.Schedule(th.rng.Exp(cfg.OpenLoopInterarrival), arrive)
+			}
+			eng.Schedule(th.rng.Exp(cfg.OpenLoopInterarrival), arrive)
+			continue
+		}
+		eng.Schedule(th.rng.Duration(10*sim.Nanosecond), func() { r.step(th) })
+	}
+
+	var cohAtMeasure coherence.Stats
+	eng.At(cfg.Warmup, func() {
+		r.measuring = true
+		r.meter.Reset()
+		cohAtMeasure = mem.System().Stats()
+	})
+
+	eng.Run(r.endAt)
+
+	if err := mem.System().CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("workload: coherence invariant violated: %w", err)
+	}
+
+	cohEnd := mem.System().Stats()
+	coresUsed := map[int]bool{}
+	for _, th := range r.threads {
+		coresUsed[th.core] = true
+	}
+	res := &Result{
+		Config:         cfg,
+		Ops:            r.ops,
+		Attempts:       r.attempts,
+		Failures:       r.failures,
+		PerThreadOps:   r.perOps,
+		Latency:        r.lat,
+		SuccessLatency: r.slat,
+		MeasuredFor:    cfg.Duration,
+		ThroughputMops: stats.Throughput(r.ops, cfg.Duration) / 1e6,
+		Jain:           stats.JainIndex(r.perOps),
+		CoV:            stats.CoV(r.perOps),
+		MinMax:         stats.MinMaxRatio(r.perOps),
+		Energy:         meter.Report(cfg.Duration, cfg.Threads, len(coresUsed), r.ops),
+		Coh:            subStats(cohEnd, cohAtMeasure),
+	}
+	return res, nil
+}
+
+// linesFor assigns the lines thread i operates on. Shared lines start
+// at ID 1; private regions are spaced far apart so home nodes spread.
+func (r *runner) linesFor(i int) []coherence.LineID {
+	switch r.cfg.Mode {
+	case LowContention:
+		out := make([]coherence.LineID, r.cfg.Lines)
+		base := coherence.LineID(1_000_000 + i*4096)
+		for j := range out {
+			out[j] = base + coherence.LineID(j)
+		}
+		return out
+	default:
+		out := make([]coherence.LineID, r.cfg.Lines)
+		for j := range out {
+			out[j] = coherence.LineID(1 + j)
+		}
+		return out
+	}
+}
+
+// step runs one think-then-operate iteration of a thread.
+func (r *runner) step(th *thread) {
+	if r.eng.Now() >= r.endAt {
+		return
+	}
+	think := r.cfg.LocalWork
+	if think > 0 && r.cfg.WorkJitter {
+		think = th.rng.Exp(think)
+	}
+	if think > 0 {
+		r.eng.Schedule(think, func() { r.operate(th) })
+	} else {
+		r.operate(th)
+	}
+}
+
+func (r *runner) operate(th *thread) {
+	if r.eng.Now() >= r.endAt {
+		return
+	}
+	line := th.lines[th.next]
+	th.next = (th.next + 1) % len(th.lines)
+
+	p := r.cfg.Primitive
+	if r.cfg.Mode == ReadWriteMix && th.rng.Float64() < r.cfg.ReadFraction {
+		p = atomics.Load
+	}
+
+	switch p {
+	case atomics.CAS, atomics.CAS2:
+		if !th.inSpan {
+			th.inSpan = true
+			th.spanStart = r.eng.Now()
+		}
+		expected := th.lastSeen
+		r.mem.Do(p, th.core, line, expected, expected+1, func(res atomics.Result) {
+			th.lastSeen = res.Old
+			if res.OK {
+				th.lastSeen = expected + 1
+			}
+			r.complete(th, res, res.OK)
+		})
+	default:
+		r.mem.Do(p, th.core, line, 1, 0, func(res atomics.Result) {
+			r.complete(th, res, true)
+		})
+	}
+}
+
+// complete records one finished attempt and schedules the next step.
+func (r *runner) complete(th *thread, res atomics.Result, ok bool) {
+	if r.measuring && r.eng.Now() <= r.endAt {
+		r.attempts++
+		r.lat.Record(res.Latency)
+		if ok {
+			r.ops++
+			r.perOps[th.id]++
+		} else {
+			r.failures++
+		}
+		if ok && th.inSpan {
+			r.slat.Record(r.eng.Now() - th.spanStart)
+		}
+	}
+	if ok {
+		th.inSpan = false
+	}
+	if r.cfg.OpenLoop {
+		// Arrivals drive issue; completions do not chain.
+		return
+	}
+	if (r.cfg.Primitive == atomics.CAS || r.cfg.Primitive == atomics.CAS2) && r.cfg.CASRetryLoop && !ok {
+		// Retry immediately (the failed CAS already told us the value).
+		r.operate(th)
+		return
+	}
+	r.step(th)
+}
+
+func subStats(a, b coherence.Stats) coherence.Stats {
+	return coherence.Stats{
+		Accesses:    a.Accesses - b.Accesses,
+		LocalHits:   a.LocalHits - b.LocalHits,
+		RemoteXfers: a.RemoteXfers - b.RemoteXfers,
+		LLCFills:    a.LLCFills - b.LLCFills,
+		DRAMFills:   a.DRAMFills - b.DRAMFills,
+		Invals:      a.Invals - b.Invals,
+		TotalHops:   a.TotalHops - b.TotalHops,
+		CrossSocket: a.CrossSocket - b.CrossSocket,
+		MaxQueueLen: a.MaxQueueLen,
+		LinkStall:   a.LinkStall - b.LinkStall,
+	}
+}
