@@ -7,6 +7,7 @@
 //	atomicsim -exp F3             # one experiment
 //	atomicsim -machine KNL        # restrict the machine
 //	atomicsim -quick              # trimmed sweeps for a fast look
+//	atomicsim -par 4              # cap concurrent simulation cells
 //	atomicsim -csv results/       # additionally write one CSV per table
 //	atomicsim -list               # list experiment IDs and claims
 package main
@@ -16,7 +17,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"atomicsmodel/internal/harness"
 	"atomicsmodel/internal/machine"
@@ -28,10 +32,14 @@ func main() {
 		machs   = flag.String("machine", "", "comma-separated machines: XeonE5,KNL (default: both)")
 		quick   = flag.Bool("quick", false, "trimmed sweeps and shorter simulated durations")
 		seed    = flag.Uint64("seed", 42, "base random seed")
+		par     = flag.Int("par", runtime.NumCPU(), "max concurrent simulation cells (results are identical for any value)")
+		quiet   = flag.Bool("quiet", false, "suppress per-experiment progress on stderr")
 		csvDir  = flag.String("csv", "", "directory to write per-table CSV files into")
 		doPlot  = flag.Bool("plot", false, "render ASCII charts for figure-shaped tables")
 		logY    = flag.Bool("logy", false, "use a logarithmic Y axis for plots")
 		listIDs = flag.Bool("list", false, "list experiments and exit")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -42,7 +50,19 @@ func main() {
 		return
 	}
 
-	opts := harness.Options{Quick: *quick, Seed: *seed}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	opts := harness.Options{Quick: *quick, Seed: *seed, Par: *par}
 	if *machs != "" {
 		for _, name := range strings.Split(*machs, ",") {
 			m, err := machine.ByName(strings.TrimSpace(name))
@@ -66,11 +86,29 @@ func main() {
 		exps = harness.All()
 	}
 
+	suiteStart := time.Now()
 	for _, e := range exps {
 		fmt.Printf("== %s: %s\n   claim: %s\n\n", e.ID, e.Title, e.Claim)
-		tables, err := e.Run(opts)
+		expStart := time.Now()
+		runOpts := opts
+		if !*quiet {
+			// Progress goes to stderr so redirected table output stays
+			// clean; \r keeps it to one updating line per experiment.
+			id := e.ID
+			runOpts.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells, %s ", id, done, total,
+					time.Since(expStart).Round(time.Millisecond))
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+		tables, err := e.Run(runOpts)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "%s done in %s\n", e.ID, time.Since(expStart).Round(time.Millisecond))
 		}
 		for i, t := range tables {
 			if err := t.Render(os.Stdout); err != nil {
@@ -91,6 +129,22 @@ func main() {
 					fatal(err)
 				}
 			}
+		}
+	}
+	if !*quiet && len(exps) > 1 {
+		fmt.Fprintf(os.Stderr, "suite done: %d experiments in %s\n",
+			len(exps), time.Since(suiteStart).Round(time.Millisecond))
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
 		}
 	}
 }

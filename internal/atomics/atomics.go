@@ -136,6 +136,67 @@ type Memory struct {
 	// Store buffering (opt-in via machine.StoreBufferDepth).
 	bufDepth int
 	bufs     map[int]*storeBuf
+	// ctxPool recycles per-operation contexts so the apply/translate
+	// closures every primitive needs are built once, not per operation.
+	ctxPool []*opCtx
+}
+
+// opCtx carries one in-flight operation's parameters. Its two closures
+// (the coherence-level apply and the result translation) are built once
+// per context object and read everything through the context pointer,
+// so pooled contexts make the primitive layer allocation-free in steady
+// state.
+type opCtx struct {
+	mem        *Memory
+	p          Primitive
+	arg1, arg2 uint64
+	done       func(Result)
+	applyFn    coherence.Apply
+	doneFn     func(coherence.AccessResult)
+}
+
+// apply implements the primitive's read-modify-write semantics at the
+// line's serialization point.
+func (c *opCtx) apply(cur uint64) (uint64, bool) {
+	switch c.p {
+	case CAS, CAS2:
+		if cur == c.arg1 {
+			return c.arg2, true
+		}
+		return cur, false
+	case FAA:
+		return cur + c.arg1, true
+	case SWAP, Store:
+		return c.arg1, true
+	case TAS:
+		return 1, true
+	}
+	return cur, false // Load and Fence never modify
+}
+
+// complete translates the coherence result, recycles the context, and
+// invokes the caller's callback.
+func (c *opCtx) complete(r coherence.AccessResult) {
+	mem, p, done := c.mem, c.p, c.done
+	c.done = nil
+	mem.ctxPool = append(mem.ctxPool, c)
+	if done != nil {
+		done(Result{Latency: r.Latency, Old: r.Value, OK: r.Wrote || !p.IsRMW(), Access: r})
+	}
+}
+
+func (mem *Memory) getCtx(p Primitive, arg1, arg2 uint64, done func(Result)) *opCtx {
+	var c *opCtx
+	if n := len(mem.ctxPool); n > 0 {
+		c = mem.ctxPool[n-1]
+		mem.ctxPool = mem.ctxPool[:n-1]
+	} else {
+		c = &opCtx{mem: mem}
+		c.applyFn = c.apply
+		c.doneFn = c.complete
+	}
+	c.p, c.arg1, c.arg2, c.done = p, arg1, arg2, done
+	return c
 }
 
 // NewMemory wires a memory built from m's parameters onto engine eng
@@ -154,34 +215,28 @@ func (mem *Memory) System() *coherence.System { return mem.sys }
 // Machine returns the machine description this memory simulates.
 func (mem *Memory) Machine() *machine.Machine { return mem.m }
 
-func (mem *Memory) rmw(core int, line coherence.LineID, p Primitive, apply coherence.Apply, done func(Result)) {
-	issue := func() {
-		mem.sys.Access(core, line, coherence.RFO, ExecCost(mem.m, p), apply, func(r coherence.AccessResult) {
-			if done != nil {
-				done(Result{Latency: r.Latency, Old: r.Value, OK: r.Wrote || !p.IsRMW(), Access: r})
-			}
-		})
-	}
-	if p.IsRMW() && mem.bufDepth > 0 {
+func (mem *Memory) rmw(core int, line coherence.LineID, c *opCtx) {
+	if c.p.IsRMW() && mem.bufDepth > 0 {
 		// The lock prefix implies a full fence: drain pending stores
 		// first. (Latency reported covers the RFO only; the drain wait
 		// shows up as elapsed simulated time.)
-		mem.waitDrained(core, issue)
+		mem.waitDrained(core, func() { mem.issueRMW(core, line, c) })
 		return
 	}
-	issue()
+	// Issue directly — keeping this path free of the drain closure saves
+	// an allocation on every operation of every buffer-less run.
+	mem.issueRMW(core, line, c)
+}
+
+func (mem *Memory) issueRMW(core int, line coherence.LineID, c *opCtx) {
+	mem.sys.Access(core, line, coherence.RFO, ExecCost(mem.m, c.p), c.applyFn, c.doneFn)
 }
 
 // CompareAndSwap2 is the double-width CAS: identical semantics to
 // CompareAndSwap on the simulated 64-bit line value, but charged the
 // cmpxchg16b execution occupancy.
 func (mem *Memory) CompareAndSwap2(core int, line coherence.LineID, old, new uint64, done func(Result)) {
-	mem.rmw(core, line, CAS2, func(cur uint64) (uint64, bool) {
-		if cur == old {
-			return new, true
-		}
-		return cur, false
-	}, done)
+	mem.rmw(core, line, mem.getCtx(CAS2, old, new, done))
 }
 
 // CompareAndSwap atomically replaces the line's value with new if it
@@ -189,43 +244,29 @@ func (mem *Memory) CompareAndSwap2(core int, line coherence.LineID, old, new uin
 // A failing CAS still acquires the line exclusively (as lock cmpxchg
 // does), so it costs the same transfer as a success.
 func (mem *Memory) CompareAndSwap(core int, line coherence.LineID, old, new uint64, done func(Result)) {
-	mem.rmw(core, line, CAS, func(cur uint64) (uint64, bool) {
-		if cur == old {
-			return new, true
-		}
-		return cur, false
-	}, done)
+	mem.rmw(core, line, mem.getCtx(CAS, old, new, done))
 }
 
 // FetchAndAdd atomically adds delta, returning the prior value in done.
 func (mem *Memory) FetchAndAdd(core int, line coherence.LineID, delta uint64, done func(Result)) {
-	mem.rmw(core, line, FAA, func(cur uint64) (uint64, bool) {
-		return cur + delta, true
-	}, done)
+	mem.rmw(core, line, mem.getCtx(FAA, delta, 0, done))
 }
 
 // Swap atomically replaces the value with v, returning the prior value.
 func (mem *Memory) Swap(core int, line coherence.LineID, v uint64, done func(Result)) {
-	mem.rmw(core, line, SWAP, func(cur uint64) (uint64, bool) {
-		return v, true
-	}, done)
+	mem.rmw(core, line, mem.getCtx(SWAP, v, 0, done))
 }
 
 // TestAndSet atomically sets the value to 1, returning the prior value
 // (0 means the caller acquired it).
 func (mem *Memory) TestAndSet(core int, line coherence.LineID, done func(Result)) {
-	mem.rmw(core, line, TAS, func(cur uint64) (uint64, bool) {
-		return 1, true
-	}, done)
+	mem.rmw(core, line, mem.getCtx(TAS, 0, 0, done))
 }
 
 // LoadOp issues a plain load.
 func (mem *Memory) LoadOp(core int, line coherence.LineID, done func(Result)) {
-	mem.sys.Access(core, line, coherence.Read, ExecCost(mem.m, Load), nil, func(r coherence.AccessResult) {
-		if done != nil {
-			done(Result{Latency: r.Latency, Old: r.Value, OK: true, Access: r})
-		}
-	})
+	c := mem.getCtx(Load, 0, 0, done)
+	mem.sys.Access(core, line, coherence.Read, ExecCost(mem.m, Load), nil, c.doneFn)
 }
 
 // StoreOp issues a plain store of v. With store buffering enabled the
@@ -236,9 +277,7 @@ func (mem *Memory) StoreOp(core int, line coherence.LineID, v uint64, done func(
 		mem.bufferedStore(core, line, v, done)
 		return
 	}
-	mem.rmw(core, line, Store, func(cur uint64) (uint64, bool) {
-		return v, true
-	}, done)
+	mem.rmw(core, line, mem.getCtx(Store, v, 0, done))
 }
 
 // FenceOp drains the issuing core's pipeline and, when store buffering

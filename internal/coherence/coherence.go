@@ -149,7 +149,9 @@ func (p *Params) validate() error {
 	return nil
 }
 
-// AccessResult describes a completed access.
+// AccessResult describes a completed access. One is copied into every
+// completion callback, so the word-sized fields come first and the
+// byte-sized ones are packed together at the end.
 type AccessResult struct {
 	// Latency is issue-to-completion time including queueing behind
 	// other requests to the same line.
@@ -157,20 +159,20 @@ type AccessResult struct {
 	// Value is the line's 64-bit value observed at the serialization
 	// point of this access (before any write this access performs).
 	Value uint64
-	// Wrote reports whether this access modified the line (a failed CAS
-	// gains ownership but sets Wrote=false).
-	Wrote bool
-	// Source says where the data came from.
-	Source Source
 	// Hops is the total network distance the transaction traversed.
 	Hops int
-	// CrossSocket reports whether the transfer crossed a socket.
-	CrossSocket bool
 	// QueuedBehind is the number of other requests granted while this
 	// one waited in the line's queue (how often it was bypassed; 0 when
 	// granted immediately or when it only waited for an in-flight
 	// service that had already been granted on arrival).
 	QueuedBehind int
+	// Source says where the data came from.
+	Source Source
+	// Wrote reports whether this access modified the line (a failed CAS
+	// gains ownership but sets Wrote=false).
+	Wrote bool
+	// CrossSocket reports whether the transfer crossed a socket.
+	CrossSocket bool
 }
 
 // TraceEvent is emitted once per completed access for energy accounting
@@ -191,6 +193,10 @@ type TraceEvent struct {
 type Apply func(cur uint64) (next uint64, write bool)
 
 // request is one outstanding access waiting at a line's controller.
+// Requests are pooled on the System and recycled after completion, so
+// steady-state accesses do not allocate one per operation; the two
+// completion closures are built once per request object and survive
+// recycling (they read everything through the request pointer).
 type request struct {
 	core    int
 	kind    Kind
@@ -199,6 +205,16 @@ type request struct {
 	issued  sim.Time
 	skipped int // services that happened while this waited
 	done    func(AccessResult)
+	// res is the in-progress result for the service this request was
+	// granted (filled by serviceCost, finalized at completion) or, on
+	// the non-serialized fast paths, the fully precomputed result.
+	res AccessResult
+	// line is the line this request is currently operating on.
+	line *lineState
+	// completeFn finalizes a granted (serialized) service; fastFn
+	// finalizes a fast-path access that never queued.
+	completeFn func()
+	fastFn     func()
 }
 
 // lineState is the directory entry plus value for one line.
@@ -227,6 +243,15 @@ type System struct {
 	net    *network // nil when bandwidth modeling is off
 	tracer func(TraceEvent)
 
+	// Hot-path lookup tables, built once at NewSystem time: the dense
+	// topology replaces per-message routing arithmetic with array reads,
+	// and nodeOf caches the core-to-node map so accesses never call back
+	// into the machine description.
+	topo   *topology.Dense
+	nodeOf []int
+	// reqPool recycles request structs (see request).
+	reqPool []*request
+
 	// Stats counters (cheap, always on).
 	nAccesses   uint64
 	nLocal      uint64
@@ -252,39 +277,71 @@ func NewSystem(eng *sim.Engine, p Params, arb Arbiter) (*System, error) {
 			return nil, fmt.Errorf("coherence: LinkOccupancy requires a routable topology, %s is not", p.Topo.Name())
 		}
 	}
+	nodeOf := make([]int, p.NumCores)
+	for c := range nodeOf {
+		nodeOf[c] = p.NodeOf(c)
+	}
 	return &System{
-		eng:   eng,
-		p:     p,
-		arb:   arb,
-		lines: make(map[LineID]*lineState),
-		net:   newNetwork(&p),
+		eng:    eng,
+		p:      p,
+		arb:    arb,
+		lines:  make(map[LineID]*lineState),
+		net:    newNetwork(&p),
+		topo:   topology.NewDense(p.Topo),
+		nodeOf: nodeOf,
 	}, nil
 }
 
+// getReq takes a request from the pool (or allocates one, wiring its
+// reusable completion closures).
+func (s *System) getReq() *request {
+	if n := len(s.reqPool); n > 0 {
+		r := s.reqPool[n-1]
+		s.reqPool = s.reqPool[:n-1]
+		return r
+	}
+	r := &request{}
+	r.completeFn = func() { s.completeService(r) }
+	r.fastFn = func() { s.completeFast(r) }
+	return r
+}
+
+// putReq recycles a completed request. The caller must not touch it
+// afterwards: any later Access may hand it out again.
+func (s *System) putReq(r *request) {
+	// Drop the per-access closures and line reference for GC; keep the
+	// prebaked completion closures.
+	r.apply, r.done, r.line = nil, nil, nil
+	r.skipped = 0
+	r.res = AccessResult{}
+	s.reqPool = append(s.reqPool, r)
+}
+
 // pathCost is the total cost of a coherence transaction that sends a
-// message chain through the given nodes with proc of agent processing
-// after the first leg (the home's directory lookup plus any LLC/DRAM
-// access time). Uncontended it equals proc + Hops*HopLatency; with the
-// bandwidth network enabled each leg reserves its links, and the
-// processing gap holds the later legs back so a transaction does not
-// queue behind its own request message. hops is the distance-weighted
-// hop count for stats and energy.
-func (s *System) pathCost(proc sim.Time, nodes ...int) (total sim.Time, hops int) {
-	for i := 1; i < len(nodes); i++ {
-		hops += s.p.Topo.Hops(nodes[i-1], nodes[i])
+// message chain through the first n entries of nodes with proc of agent
+// processing after the first leg (the home's directory lookup plus any
+// LLC/DRAM access time). Uncontended it equals proc + Hops*HopLatency;
+// with the bandwidth network enabled each leg reserves its links, and
+// the processing gap holds the later legs back so a transaction does
+// not queue behind its own request message. hops is the distance-
+// weighted hop count for stats and energy. nodes is a fixed-size array
+// (message chains are at most four stops) so calls stay off the heap.
+func (s *System) pathCost(proc sim.Time, nodes [4]int, n int) (total sim.Time, hops int) {
+	for i := 1; i < n; i++ {
+		hops += s.topo.Hops(nodes[i-1], nodes[i])
 	}
 	if s.net == nil {
 		return proc + sim.Time(hops)*s.p.HopLatency, hops
 	}
 	now := s.eng.Now()
 	t := now
-	for i := 1; i < len(nodes); i++ {
+	for i := 1; i < n; i++ {
 		t += s.net.transit(t, nodes[i-1], nodes[i])
 		if i == 1 {
 			t += proc
 		}
 	}
-	if len(nodes) < 2 {
+	if n < 2 {
 		t += proc
 	}
 	return t - now, hops
@@ -350,16 +407,16 @@ func (s *System) Access(core int, id LineID, kind Kind, hold sim.Time, apply App
 
 	// Fast path: a read that the core's own cache can satisfy does not
 	// serialize through the directory — real L1s serve shared lines
-	// concurrently.
+	// concurrently. The value is observed at issue time (the line cannot
+	// change under a local shared copy without invalidating it first,
+	// and invalidations queue behind in-flight completions).
 	if kind == Read && (l.owner == core || l.sharers.has(core)) {
 		s.nAccesses++
 		s.nLocal++
-		res := AccessResult{Latency: s.p.L1Hit, Value: l.value, Source: SrcLocal}
-		val := l.value
-		s.eng.Schedule(s.p.L1Hit, func() {
-			res.Value = val
-			s.finish(l, core, kind, res, done)
-		})
+		req := s.getReq()
+		req.core, req.kind, req.done, req.line = core, kind, done, l
+		req.res = AccessResult{Latency: s.p.L1Hit, Value: l.value, Source: SrcLocal}
+		s.eng.Schedule(s.p.L1Hit, req.fastFn)
 		return
 	}
 
@@ -369,10 +426,10 @@ func (s *System) Access(core int, id LineID, kind Kind, hold sim.Time, apply App
 	// line's serialization point. This is what lets TTAS-style spinning
 	// refill many waiters' caches in parallel after an invalidation.
 	if kind == Read && l.owner == -1 && l.valid {
-		cNode := s.p.NodeOf(core)
+		cNode := s.nodeOf[core]
 		// Choose the data source with uncontended closed-form costs,
 		// then reserve (and pay) only the chosen path.
-		llcHops := 2 * s.p.Topo.Hops(cNode, l.home)
+		llcHops := 2 * s.topo.Hops(cNode, l.home)
 		llcCost := s.p.DirLookup + s.p.LLCHit + sim.Time(llcHops)*s.p.HopLatency
 		useForward := false
 		var fNode, fHops int
@@ -380,8 +437,8 @@ func (s *System) Access(core int, id LineID, kind Kind, hold sim.Time, apply App
 		if s.p.ForwardSharer && !l.sharers.empty() {
 			// MESIF: the nearest sharer forwards if that beats the LLC.
 			if f, h, ok := s.nearestSharer(l, cNode); ok {
-				fNode, fHops = s.p.NodeOf(f), h
-				fCross = s.p.Topo.CrossSocket(cNode, fNode)
+				fNode, fHops = s.nodeOf[f], h
+				fCross = s.topo.CrossSocket(cNode, fNode)
 				fCost := s.p.DirLookup + sim.Time(fHops)*s.p.HopLatency
 				if fCross {
 					fCost += s.p.CrossSocketPenalty
@@ -392,14 +449,14 @@ func (s *System) Access(core int, id LineID, kind Kind, hold sim.Time, apply App
 		var cost sim.Time
 		var res AccessResult
 		if useForward {
-			c, hops := s.pathCost(s.p.DirLookup, cNode, l.home, fNode, cNode)
+			c, hops := s.pathCost(s.p.DirLookup, [4]int{cNode, l.home, fNode, cNode}, 4)
 			cost = c
 			if fCross {
 				cost += s.p.CrossSocketPenalty
 			}
 			res = AccessResult{Source: SrcRemoteCache, Hops: hops, CrossSocket: fCross}
 		} else {
-			c, hops := s.pathCost(s.p.DirLookup+s.p.LLCHit, cNode, l.home, cNode)
+			c, hops := s.pathCost(s.p.DirLookup+s.p.LLCHit, [4]int{cNode, l.home, cNode}, 3)
 			cost = c
 			res = AccessResult{Source: SrcLLC, Hops: hops}
 		}
@@ -415,15 +472,17 @@ func (s *System) Access(core int, id LineID, kind Kind, hold sim.Time, apply App
 		}
 		s.totalHops += uint64(res.Hops)
 		res.Latency = cost
-		val := l.value
-		s.eng.Schedule(cost, func() {
-			res.Value = val
-			s.finish(l, core, kind, res, done)
-		})
+		res.Value = l.value // observed at issue, like the L1 fast path
+		req := s.getReq()
+		req.core, req.kind, req.done, req.line = core, kind, done, l
+		req.res = res
+		s.eng.Schedule(cost, req.fastFn)
 		return
 	}
 
-	req := &request{core: core, kind: kind, hold: hold, apply: apply, issued: s.eng.Now(), done: done}
+	req := s.getReq()
+	req.core, req.kind, req.hold = core, kind, hold
+	req.apply, req.done, req.issued = apply, done, s.eng.Now()
 	l.queue = append(l.queue, req)
 	if len(l.queue) > s.maxQueueLen {
 		s.maxQueueLen = len(l.queue)
@@ -439,8 +498,8 @@ func (s *System) Access(core int, id LineID, kind Kind, hold sim.Time, apply App
 func (s *System) nearestSharer(l *lineState, reqNode int) (core, hops int, ok bool) {
 	best, bestHops := -1, int(^uint(0)>>1)
 	l.sharers.forEach(func(c int) {
-		n := s.p.NodeOf(c)
-		h := s.p.Topo.Hops(reqNode, l.home) + s.p.Topo.Hops(l.home, n) + s.p.Topo.Hops(n, reqNode)
+		n := s.nodeOf[c]
+		h := s.topo.Hops(reqNode, l.home) + s.topo.Hops(l.home, n) + s.topo.Hops(n, reqNode)
 		if h < bestHops {
 			best, bestHops = c, h
 		}
@@ -466,26 +525,50 @@ func (s *System) serveNext(l *lineState) {
 	}
 
 	cost, res := s.serviceCost(l, req)
+	req.res = res
+	req.line = l
 	s.applyDirectory(l, req)
 
 	// The line is busy for the transfer plus the execution occupancy;
 	// the requester's completion callback fires at the same instant the
 	// next request can be granted.
 	total := cost + req.hold
-	s.eng.Schedule(total, func() {
-		res.Latency = s.eng.Now() - req.issued
-		res.QueuedBehind = req.skipped
-		res.Value = l.value
-		if req.apply != nil {
-			if next, write := req.apply(l.value); write {
-				l.value = next
-				res.Wrote = true
-				l.ownerDirty = true
-			}
+	s.eng.Schedule(total, req.completeFn)
+}
+
+// completeService finalizes a granted request at its completion instant:
+// it runs the requester's modification, recycles the request, delivers
+// the result, and grants the line's next waiter.
+func (s *System) completeService(req *request) {
+	l := req.line
+	res := req.res
+	res.Latency = s.eng.Now() - req.issued
+	res.QueuedBehind = req.skipped
+	res.Value = l.value
+	if req.apply != nil {
+		if next, write := req.apply(l.value); write {
+			l.value = next
+			res.Wrote = true
+			l.ownerDirty = true
 		}
-		s.finish(l, req.core, req.kind, res, req.done)
-		s.serveNext(l)
-	})
+	}
+	core, kind, done := req.core, req.kind, req.done
+	// Recycle before the callback runs: done may issue further accesses
+	// (workloads chain their next operation from the completion), and
+	// those draw from the same pool.
+	s.putReq(req)
+	s.finish(l, core, kind, &res, done)
+	s.serveNext(l)
+}
+
+// completeFast finalizes a fast-path access whose result was fully
+// precomputed at issue time.
+func (s *System) completeFast(req *request) {
+	l := req.line
+	res := req.res
+	core, kind, done := req.core, req.kind, req.done
+	s.putReq(req)
+	s.finish(l, core, kind, &res, done)
 }
 
 // serviceCost computes the transfer latency and provenance for a granted
@@ -493,7 +576,7 @@ func (s *System) serveNext(l *lineState) {
 func (s *System) serviceCost(l *lineState, req *request) (sim.Time, AccessResult) {
 	var res AccessResult
 	c := req.core
-	cNode := s.p.NodeOf(c)
+	cNode := s.nodeOf[c]
 
 	switch {
 	case l.owner == c:
@@ -514,9 +597,9 @@ func (s *System) serviceCost(l *lineState, req *request) (sim.Time, AccessResult
 	case l.owner >= 0:
 		// Dirty/exclusive in another core's cache: home forwards the
 		// request to the owner, owner sends data to the requester.
-		oNode := s.p.NodeOf(l.owner)
-		cost, hops := s.pathCost(s.p.DirLookup, cNode, l.home, oNode, cNode)
-		cross := s.p.Topo.CrossSocket(cNode, oNode)
+		oNode := s.nodeOf[l.owner]
+		cost, hops := s.pathCost(s.p.DirLookup, [4]int{cNode, l.home, oNode, cNode}, 4)
+		cross := s.topo.CrossSocket(cNode, oNode)
 		if cross {
 			cost += s.p.CrossSocketPenalty
 			s.nCrossSock++
@@ -532,7 +615,7 @@ func (s *System) serviceCost(l *lineState, req *request) (sim.Time, AccessResult
 	case l.valid:
 		// Clean at home LLC; request + data each travel the home
 		// distance. RFOs additionally invalidate any sharers.
-		cost, hops := s.pathCost(s.p.DirLookup+s.p.LLCHit, cNode, l.home, cNode)
+		cost, hops := s.pathCost(s.p.DirLookup+s.p.LLCHit, [4]int{cNode, l.home, cNode}, 3)
 		if req.kind == RFO && !l.sharers.empty() {
 			// Do not count the requester itself as a third-party sharer.
 			others := l.sharers.count()
@@ -553,7 +636,7 @@ func (s *System) serviceCost(l *lineState, req *request) (sim.Time, AccessResult
 
 	default:
 		// Cold: fetch from DRAM through the home memory controller.
-		cost, hops := s.pathCost(s.p.DirLookup+s.p.DRAM, cNode, l.home, cNode)
+		cost, hops := s.pathCost(s.p.DirLookup+s.p.DRAM, [4]int{cNode, l.home, cNode}, 3)
 		res.Source = SrcDRAM
 		res.Hops = hops
 		s.nDRAM++
@@ -601,12 +684,16 @@ func (s *System) applyDirectory(l *lineState, req *request) {
 	}
 }
 
-func (s *System) finish(l *lineState, core int, kind Kind, res AccessResult, done func(AccessResult)) {
+// finish delivers a completed access. res points at the caller's local
+// copy (already detached from the pooled request, which may be reused by
+// accesses the callback issues); passing a pointer avoids one more
+// struct copy per access on the hottest path in the simulator.
+func (s *System) finish(l *lineState, core int, kind Kind, res *AccessResult, done func(AccessResult)) {
 	if s.tracer != nil {
-		s.tracer(TraceEvent{Line: l.id, Core: core, Kind: kind, Result: res, At: s.eng.Now()})
+		s.tracer(TraceEvent{Line: l.id, Core: core, Kind: kind, Result: *res, At: s.eng.Now()})
 	}
 	if done != nil {
-		done(res)
+		done(*res)
 	}
 }
 

@@ -12,9 +12,12 @@ import (
 // sharing those links, the cross-line interference infinite-bandwidth
 // simulation misses.
 type network struct {
-	router    topology.Router
+	router    *topology.DenseRouter
 	occupancy sim.Time
-	hop       sim.Time
+	// linkTime[l] is the transit time across link l (hop latency times
+	// the link's transit weight), precomputed so the per-message loop is
+	// pure table reads.
+	linkTime []sim.Time
 	// free[l] is the instant link l next becomes available.
 	free []sim.Time
 	// stalled accumulates total time messages waited for busy links.
@@ -31,18 +34,24 @@ func newNetwork(p *Params) *network {
 	if !ok {
 		return nil
 	}
+	dr := topology.NewDenseRouter(r)
+	linkTime := make([]sim.Time, dr.Links())
+	for l := range linkTime {
+		linkTime[l] = p.HopLatency * sim.Time(dr.LinkTransit(l))
+	}
 	return &network{
-		router:    r,
+		router:    dr,
 		occupancy: p.LinkOccupancy,
-		hop:       p.HopLatency,
-		free:      make([]sim.Time, r.Links()),
+		linkTime:  linkTime,
+		free:      make([]sim.Time, dr.Links()),
 	}
 }
 
 // transit sends one message from node a to node b starting at time at;
 // it reserves each link in order and returns the transit delay (arrival
 // minus at). With no contention the delay is Hops(a,b)*HopLatency,
-// identical to the closed-form cost.
+// identical to the closed-form cost. The link sequence is an interned
+// read-only path from the dense router — no per-message allocation.
 func (nw *network) transit(at sim.Time, a, b int) sim.Time {
 	t := at
 	for _, l := range nw.router.Path(a, b) {
@@ -52,7 +61,7 @@ func (nw *network) transit(at sim.Time, a, b int) sim.Time {
 			start = nw.free[l]
 		}
 		nw.free[l] = start + nw.occupancy
-		t = start + nw.hop*sim.Time(nw.router.LinkTransit(l))
+		t = start + nw.linkTime[l]
 	}
 	return t - at
 }

@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"testing"
+
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/sim"
+	"atomicsmodel/internal/workload"
+)
+
+// BenchmarkFullCell measures one complete simulation cell — the unit the
+// parallel scheduler fans out — at quick-run length: a 16-thread
+// high-contention FAA sweep point on the Xeon.
+func BenchmarkFullCell(b *testing.B) {
+	m := machine.XeonE5()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := workload.Run(workload.Config{
+			Machine: m, Threads: 16, Primitive: atomics.FAA,
+			Mode:   workload.HighContention,
+			Warmup: 10 * sim.Microsecond, Duration: 100 * sim.Microsecond,
+			Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

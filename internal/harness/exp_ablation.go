@@ -41,8 +41,41 @@ func runF13(o Options) ([]*Table, error) {
 		{"loc-skip16", func(uint64) coherence.Arbiter { return &coherence.LocalityArbiter{MaxSkips: 16} }},
 		{"loc-skip256", func(uint64) coherence.Arbiter { return &coherence.LocalityArbiter{MaxSkips: 256} }},
 	}
+	sweep := []int{8, 16, 24, 36}
+	if o.Quick {
+		sweep = []int{8, 16}
+	}
+	machines := o.machines()
+	type spec struct {
+		m   *machine.Machine
+		n   int
+		arb int
+	}
+	var specs []spec
+	for _, m := range machines {
+		for _, n := range sweep {
+			if n > m.NumHWThreads() {
+				continue
+			}
+			for a := range arbs {
+				specs = append(specs, spec{m, n, a})
+			}
+		}
+	}
+	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+		return workload.Run(workload.Config{
+			Machine: s.m, Threads: s.n, Primitive: atomics.FAA,
+			Mode: workload.HighContention, Arbiter: arbs[s.arb].mk(o.Seed),
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var tables []*Table
-	for _, m := range o.machines() {
+	k := 0
+	for _, m := range machines {
 		md := core.NewDetailed(m)
 		cols := []string{"threads"}
 		for _, a := range arbs {
@@ -50,24 +83,14 @@ func runF13(o Options) ([]*Table, error) {
 		}
 		cols = append(cols, "locality model Mops", "locality model Jain")
 		t := NewTable("F13 ("+m.Name+"): FAA under different line arbitration policies", cols...)
-		sweep := []int{8, 16, 24, 36}
-		if o.Quick {
-			sweep = []int{8, 16}
-		}
 		for _, n := range sweep {
 			if n > m.NumHWThreads() {
 				continue
 			}
 			row := []string{itoa(n)}
-			for _, a := range arbs {
-				res, err := workload.Run(workload.Config{
-					Machine: m, Threads: n, Primitive: atomics.FAA,
-					Mode: workload.HighContention, Arbiter: a.mk(o.Seed),
-					Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
-				})
-				if err != nil {
-					return nil, err
-				}
+			for range arbs {
+				res := results[k]
+				k++
 				row = append(row, f2(res.ThroughputMops), f3(res.Jain))
 			}
 			cores, err := coresFor(m, nil, n)
@@ -85,42 +108,85 @@ func runF13(o Options) ([]*Table, error) {
 }
 
 func runF14(o Options) ([]*Table, error) {
+	machines := o.machines()
+	fracs := []float64{0.9, 0.99}
+
+	// This runner mixes cell shapes (latency probes, mix runs, the
+	// crossbar table), so instead of one Fanout it fills result slots
+	// through a task list driven by RunCells.
+	type machineCells struct {
+		base, mesif *machine.Machine
+		sharedLat   [2]sim.Time            // MESI, MESIF
+		mix         [2][2]*workload.Result // read fraction x (MESI, MESIF)
+	}
+	rows := make([]machineCells, len(machines))
+	var tasks []func() error
+	for i, base := range machines {
+		i := i
+		rows[i].base = base
+		rows[i].mesif = cloneWithForwarding(base)
+		tasks = append(tasks, func() error {
+			var err error
+			rows[i].sharedLat[0], err = sharedReadLatency(rows[i].base)
+			return err
+		}, func() error {
+			var err error
+			rows[i].sharedLat[1], err = sharedReadLatency(rows[i].mesif)
+			return err
+		})
+		for fi := range fracs {
+			fi := fi
+			for vi, m := range []*machine.Machine{rows[i].base, rows[i].mesif} {
+				vi, m := vi, m
+				tasks = append(tasks, func() error {
+					var err error
+					rows[i].mix[fi][vi], err = workload.Run(workload.Config{
+						Machine: m, Threads: 16, Primitive: atomics.FAA,
+						Mode: workload.ReadWriteMix, ReadFraction: fracs[fi],
+						Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+					})
+					return err
+				})
+			}
+		}
+	}
+
+	// Topology ablation: same core count and latencies on an ideal
+	// 1-hop crossbar, isolating distance effects from serialization.
+	ideal := machine.Ideal(16)
+	var topoMachines []*machine.Machine
+	for _, m := range append(append([]*machine.Machine{}, machines...), ideal) {
+		if m.NumHWThreads() < 16 {
+			continue
+		}
+		topoMachines = append(topoMachines, m)
+	}
+	topoRes := make([]*workload.Result, len(topoMachines))
+	for i, m := range topoMachines {
+		i, m := i, m
+		tasks = append(tasks, func() error {
+			var err error
+			topoRes[i], err = workload.Run(workload.Config{
+				Machine: m, Threads: 16, Primitive: atomics.FAA, Mode: workload.HighContention,
+				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+			})
+			return err
+		})
+	}
+
+	if err := RunCells(o, len(tasks), func(i int) error { return tasks[i]() }); err != nil {
+		return nil, err
+	}
+
 	var tables []*Table
-	for _, base := range o.machines() {
-		mesif := cloneWithForwarding(base)
+	for i, base := range machines {
 		t := NewTable("F14 ("+base.Name+"): protocol ablation (MESI vs MESIF forwarding)",
 			"measurement", "MESI", "MESIF", "delta")
-
-		// Latency level, where forwarding acts: a cold reader of a line
-		// that is Shared in caches far from its home.
-		a, err := sharedReadLatency(base)
-		if err != nil {
-			return nil, err
-		}
-		b, err := sharedReadLatency(mesif)
-		if err != nil {
-			return nil, err
-		}
+		a, b := rows[i].sharedLat[0], rows[i].sharedLat[1]
 		t.AddRow("cold read of S line (ns)", ns(a), ns(b),
 			pct((b.Nanoseconds()-a.Nanoseconds())/a.Nanoseconds()*100))
-
-		// Throughput level: RMW-interleaved sharing. Every write purges
-		// the sharer set, so forwarding has nothing to forward — an
-		// honest negative result the note explains.
-		for _, rf := range []float64{0.9, 0.99} {
-			cfg := func(m *machine.Machine) workload.Config {
-				return workload.Config{Machine: m, Threads: 16, Primitive: atomics.FAA,
-					Mode: workload.ReadWriteMix, ReadFraction: rf,
-					Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed}
-			}
-			ra, err := workload.Run(cfg(base))
-			if err != nil {
-				return nil, err
-			}
-			rb, err := workload.Run(cfg(mesif))
-			if err != nil {
-				return nil, err
-			}
+		for fi, rf := range fracs {
+			ra, rb := rows[i].mix[fi][0], rows[i].mix[fi][1]
 			delta := 0.0
 			if ra.ThroughputMops > 0 {
 				delta = (rb.ThroughputMops - ra.ThroughputMops) / ra.ThroughputMops * 100
@@ -131,23 +197,10 @@ func runF14(o Options) ([]*Table, error) {
 		tables = append(tables, t)
 	}
 
-	// Topology ablation: same core count and latencies on an ideal
-	// 1-hop crossbar, isolating distance effects from serialization.
-	ideal := machine.Ideal(16)
 	t := NewTable("F14 (topology): 16-thread FAA, real topology vs ideal crossbar",
 		"machine", "high contention (Mops)", "mean latency (ns)")
-	for _, m := range append(o.machines(), ideal) {
-		if m.NumHWThreads() < 16 {
-			continue
-		}
-		res, err := workload.Run(workload.Config{
-			Machine: m, Threads: 16, Primitive: atomics.FAA, Mode: workload.HighContention,
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(m.Name, f2(res.ThroughputMops), ns(res.Latency.Mean()))
+	for i, m := range topoMachines {
+		t.AddRow(m.Name, f2(topoRes[i].ThroughputMops), ns(topoRes[i].Latency.Mean()))
 	}
 	t.AddNote("what remains on the crossbar is pure protocol serialization (the model's s term)")
 	tables = append(tables, t)
@@ -199,36 +252,45 @@ func runF15(o Options) ([]*Table, error) {
 		stripeCounts = []int{1, 4, 16}
 	}
 	const threads = 16
-	var tables []*Table
+	var eligible []*machine.Machine
 	for _, m := range o.machines() {
-		if threads > m.NumHWThreads() {
-			continue
+		if threads <= m.NumHWThreads() {
+			eligible = append(eligible, m)
 		}
+	}
+	type spec struct {
+		m       *machine.Machine
+		stripes int
+		reads   float64
+	}
+	var specs []spec
+	for _, m := range eligible {
+		for _, sc := range stripeCounts {
+			specs = append(specs, spec{m, sc, 0}, spec{m, sc, 0.05})
+		}
+	}
+	results, err := Fanout(o, specs, func(_ int, s spec) (*apps.RunResult, error) {
+		return apps.Run(apps.RunConfig{
+			Machine: s.m, Threads: threads,
+			Build: func(e *sim.Engine, mem *atomics.Memory) apps.App {
+				return apps.NewStripedCounter(mem, s.stripes, s.reads)
+			},
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*Table
+	k := 0
+	for _, m := range eligible {
 		t := NewTable("F15 ("+m.Name+"): striped counter, 16 writers",
 			"stripes", "increments (Mops)", "speedup vs 1", "with 5% reads (Mops)")
 		var base float64
 		for _, sc := range stripeCounts {
-			sc := sc
-			writeOnly, err := apps.Run(apps.RunConfig{
-				Machine: m, Threads: threads,
-				Build: func(e *sim.Engine, mem *atomics.Memory) apps.App {
-					return apps.NewStripedCounter(mem, sc, 0)
-				},
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			withReads, err := apps.Run(apps.RunConfig{
-				Machine: m, Threads: threads,
-				Build: func(e *sim.Engine, mem *atomics.Memory) apps.App {
-					return apps.NewStripedCounter(mem, sc, 0.05)
-				},
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
+			writeOnly, withReads := results[k], results[k+1]
+			k += 2
 			if sc == 1 {
 				base = writeOnly.ThroughputMops
 			}

@@ -4,6 +4,7 @@ import (
 	"atomicsmodel/internal/apps"
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/core"
+	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/sim"
 )
 
@@ -23,28 +24,42 @@ func init() {
 }
 
 func runF9(o Options) ([]*Table, error) {
+	machines := o.machines()
+	// Two cells per row: the FAA counter and the CAS-loop counter.
+	type spec struct {
+		m   *machine.Machine
+		n   int
+		cas bool
+	}
+	var specs []spec
+	for _, m := range machines {
+		for _, n := range o.threadSweep(m) {
+			specs = append(specs, spec{m, n, false}, spec{m, n, true})
+		}
+	}
+	results, err := Fanout(o, specs, func(_ int, s spec) (*apps.RunResult, error) {
+		build := func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewFAACounter(mem) }
+		if s.cas {
+			build = func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewCASCounter(mem) }
+		}
+		return apps.Run(apps.RunConfig{
+			Machine: s.m, Threads: s.n, Build: build,
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var tables []*Table
-	for _, m := range o.machines() {
+	k := 0
+	for _, m := range machines {
 		md := core.NewDetailed(m)
 		t := NewTable("F9 ("+m.Name+"): shared counter throughput (M increments/s)",
 			"threads", "FAA counter", "CAS counter", "sim ratio", "model ratio")
 		for _, n := range o.threadSweep(m) {
-			faa, err := apps.Run(apps.RunConfig{
-				Machine: m, Threads: n,
-				Build:  func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewFAACounter(mem) },
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
-			})
-			if err != nil {
-				return nil, err
-			}
-			cas, err := apps.Run(apps.RunConfig{
-				Machine: m, Threads: n,
-				Build:  func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewCASCounter(mem) },
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
-			})
-			if err != nil {
-				return nil, err
-			}
+			faa, cas := results[k], results[k+1]
+			k += 2
 			cores, err := coresFor(m, nil, n)
 			if err != nil {
 				return nil, err
@@ -80,18 +95,52 @@ func runF10(o Options) ([]*Table, error) {
 		}},
 		{"ticket", func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewTicketLock(e, mem, crit) }},
 	}
-	var tables []*Table
-	for _, m := range o.machines() {
-		m := m
-		machineBuilders := builders
-		if m.Sockets > 1 {
-			machineBuilders = append(machineBuilders, struct {
-				name string
-				mk   func(e *sim.Engine, mem *atomics.Memory) apps.App
-			}{"cohort", func(e *sim.Engine, mem *atomics.Memory) apps.App {
-				return apps.NewCohortLock(e, mem, m.SocketOf, crit, 16)
-			}})
+	buildersFor := func(m *machine.Machine) []struct {
+		name string
+		mk   func(e *sim.Engine, mem *atomics.Memory) apps.App
+	} {
+		if m.Sockets <= 1 {
+			return builders
 		}
+		return append(builders[:len(builders):len(builders)], struct {
+			name string
+			mk   func(e *sim.Engine, mem *atomics.Memory) apps.App
+		}{"cohort", func(e *sim.Engine, mem *atomics.Memory) apps.App {
+			return apps.NewCohortLock(e, mem, m.SocketOf, crit, 16)
+		}})
+	}
+	machines := o.machines()
+	type spec struct {
+		m *machine.Machine
+		n int
+		b int
+	}
+	var specs []spec
+	for _, m := range machines {
+		mb := buildersFor(m)
+		for _, n := range o.threadSweep(m) {
+			if n < 2 {
+				continue
+			}
+			for b := range mb {
+				specs = append(specs, spec{m, n, b})
+			}
+		}
+	}
+	results, err := Fanout(o, specs, func(_ int, s spec) (*apps.RunResult, error) {
+		return apps.Run(apps.RunConfig{
+			Machine: s.m, Threads: s.n, Build: buildersFor(s.m)[s.b].mk,
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*Table
+	k := 0
+	for _, m := range machines {
+		machineBuilders := buildersFor(m)
 		cols := []string{"threads"}
 		for _, b := range machineBuilders {
 			cols = append(cols, b.name+" (Mops)", b.name+" Jain")
@@ -102,14 +151,9 @@ func runF10(o Options) ([]*Table, error) {
 				continue
 			}
 			row := []string{itoa(n)}
-			for _, b := range machineBuilders {
-				res, err := apps.Run(apps.RunConfig{
-					Machine: m, Threads: n, Build: b.mk,
-					Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
-				})
-				if err != nil {
-					return nil, err
-				}
+			for range machineBuilders {
+				res := results[k]
+				k++
 				row = append(row, f2(res.ThroughputMops), f3(res.Jain))
 			}
 			t.AddRow(row...)

@@ -26,22 +26,42 @@ func runF16(o Options) ([]*Table, error) {
 	if o.Quick {
 		occupancies = []float64{0, 2, 8}
 	}
+	machines := o.machines()
+	// Each storm-and-victim run is one custom simulation — one cell.
+	type spec struct {
+		base *machine.Machine
+		occ  float64
+	}
+	type cell struct{ storm, victimLat, stallShare float64 }
+	var specs []spec
+	for _, base := range machines {
+		for _, occ := range occupancies {
+			specs = append(specs, spec{base, occ})
+		}
+	}
+	results, err := Fanout(o, specs, func(_ int, s spec) (cell, error) {
+		m := *s.base
+		m.LinkOccupancy = m.Cycles(s.occ)
+		storm, victimLat, stallShare, err := stormAndVictim(&m, o)
+		return cell{storm, victimLat, stallShare}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var tables []*Table
-	for _, base := range o.machines() {
+	k := 0
+	for _, base := range machines {
 		t := NewTable("F16 ("+base.Name+"): 12-thread FAA storm vs 2-thread victim on another line",
 			"link occupancy (cyc)", "storm (Mops)", "victim latency (ns)", "victim slowdown", "stall share")
 		baselineLat := 0.0
 		for _, occ := range occupancies {
-			m := *base
-			m.LinkOccupancy = m.Cycles(occ)
-			storm, victimLat, stallShare, err := stormAndVictim(&m, o)
-			if err != nil {
-				return nil, err
-			}
+			c := results[k]
+			k++
 			if occ == 0 {
-				baselineLat = victimLat
+				baselineLat = c.victimLat
 			}
-			t.AddRow(f1(occ), f2(storm), f1(victimLat), f2(victimLat/baselineLat), f3(stallShare))
+			t.AddRow(f1(occ), f2(c.storm), f1(c.victimLat), f2(c.victimLat/baselineLat), f3(c.stallShare))
 		}
 		t.AddNote("victim cores sit across the machine from each other; their transfers share links with the storm")
 		tables = append(tables, t)

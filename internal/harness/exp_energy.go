@@ -3,6 +3,7 @@ package harness
 import (
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/core"
+	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/workload"
 )
 
@@ -16,8 +17,42 @@ func init() {
 }
 
 func runF6(o Options) ([]*Table, error) {
+	machines := o.machines()
+	// Three cells per row: FAA high, CAS high, FAA low.
+	cells := []struct {
+		p    atomics.Primitive
+		mode workload.Mode
+	}{
+		{atomics.FAA, workload.HighContention},
+		{atomics.CAS, workload.HighContention},
+		{atomics.FAA, workload.LowContention},
+	}
+	type spec struct {
+		m *machine.Machine
+		n int
+		c int
+	}
+	var specs []spec
+	for _, m := range machines {
+		for _, n := range o.threadSweep(m) {
+			for c := range cells {
+				specs = append(specs, spec{m, n, c})
+			}
+		}
+	}
+	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+		return workload.Run(workload.Config{
+			Machine: s.m, Threads: s.n, Primitive: cells[s.c].p, Mode: cells[s.c].mode,
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var tables []*Table
-	for _, m := range o.machines() {
+	k := 0
+	for _, m := range machines {
 		md := core.NewDetailed(m)
 		t := NewTable("F6 ("+m.Name+"): energy per successful op (nJ)",
 			"threads", "FAA high", "model FAA high", "CAS high", "FAA low", "avg power high (W)")
@@ -26,27 +61,8 @@ func runF6(o Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			faaHigh, err := workload.Run(workload.Config{
-				Machine: m, Threads: n, Primitive: atomics.FAA, Mode: workload.HighContention,
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
-			})
-			if err != nil {
-				return nil, err
-			}
-			casHigh, err := workload.Run(workload.Config{
-				Machine: m, Threads: n, Primitive: atomics.CAS, Mode: workload.HighContention,
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
-			})
-			if err != nil {
-				return nil, err
-			}
-			faaLow, err := workload.Run(workload.Config{
-				Machine: m, Threads: n, Primitive: atomics.FAA, Mode: workload.LowContention,
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
-			})
-			if err != nil {
-				return nil, err
-			}
+			faaHigh, casHigh, faaLow := results[k], results[k+1], results[k+2]
+			k += 3
 			pred := md.PredictHigh(atomics.FAA, cores, 0)
 			t.AddRow(itoa(n),
 				f1(faaHigh.Energy.PerOpNJ), f1(pred.EnergyPerOpNJ),

@@ -3,6 +3,7 @@ package harness
 import (
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/workload"
 )
 
@@ -25,8 +26,47 @@ func runF5(o Options) ([]*Table, error) {
 		{"locality", func(uint64) coherence.Arbiter { return &coherence.LocalityArbiter{} }},
 		{"loc-bounded", func(uint64) coherence.Arbiter { return &coherence.LocalityArbiter{MaxSkips: 64} }},
 	}
+	machines := o.machines()
+	// Per row: one cell per arbiter plus the trailing CAS/fifo cell.
+	// arb == len(arbs) marks the CAS cell. Arbiters are constructed
+	// inside the cell so each engine gets its own (they are stateful).
+	type spec struct {
+		m   *machine.Machine
+		n   int
+		arb int
+	}
+	var specs []spec
+	for _, m := range machines {
+		for _, n := range o.threadSweep(m) {
+			if n < 2 {
+				continue
+			}
+			for a := 0; a <= len(arbs); a++ {
+				specs = append(specs, spec{m, n, a})
+			}
+		}
+	}
+	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+		if s.arb == len(arbs) {
+			return workload.Run(workload.Config{
+				Machine: s.m, Threads: s.n, Primitive: atomics.CAS,
+				Mode:   workload.HighContention,
+				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+			})
+		}
+		return workload.Run(workload.Config{
+			Machine: s.m, Threads: s.n, Primitive: atomics.FAA,
+			Mode: workload.HighContention, Arbiter: arbs[s.arb].mk(o.Seed + uint64(s.n)),
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var tables []*Table
-	for _, m := range o.machines() {
+	k := 0
+	for _, m := range machines {
 		cols := []string{"threads"}
 		for _, a := range arbs {
 			cols = append(cols, "FAA/"+a.name)
@@ -40,28 +80,16 @@ func runF5(o Options) ([]*Table, error) {
 			row := []string{itoa(n)}
 			var locMinMax float64
 			for _, a := range arbs {
-				res, err := workload.Run(workload.Config{
-					Machine: m, Threads: n, Primitive: atomics.FAA,
-					Mode: workload.HighContention, Arbiter: a.mk(o.Seed + uint64(n)),
-					Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
-				})
-				if err != nil {
-					return nil, err
-				}
+				res := results[k]
+				k++
 				row = append(row, f3(res.Jain))
 				if a.name == "locality" {
 					locMinMax = res.MinMax
 				}
 			}
 			row = append(row, f3(locMinMax))
-			cas, err := workload.Run(workload.Config{
-				Machine: m, Threads: n, Primitive: atomics.CAS,
-				Mode:   workload.HighContention,
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
-			})
-			if err != nil {
-				return nil, err
-			}
+			cas := results[k]
+			k++
 			row = append(row, f3(cas.Jain))
 			t.AddRow(row...)
 		}

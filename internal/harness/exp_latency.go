@@ -2,6 +2,8 @@ package harness
 
 import (
 	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/sim"
 	"atomicsmodel/internal/workload"
 )
 
@@ -21,26 +23,51 @@ func init() {
 }
 
 func runF1(o Options) ([]*Table, error) {
-	var tables []*Table
-	for _, m := range o.machines() {
-		cols := []string{"primitive"}
+	machines := o.machines()
+	statesFor := func(m *machine.Machine) []workload.LineState {
 		var states []workload.LineState
 		for _, st := range workload.AllLineStates() {
 			if st == workload.StateRemoteOtherSocket && m.Sockets < 2 {
 				continue
 			}
 			states = append(states, st)
+		}
+		return states
+	}
+	type spec struct {
+		m  *machine.Machine
+		p  atomics.Primitive
+		st workload.LineState
+	}
+	var specs []spec
+	for _, m := range machines {
+		for _, p := range atomics.All() {
+			for _, st := range statesFor(m) {
+				specs = append(specs, spec{m, p, st})
+			}
+		}
+	}
+	lats, err := Fanout(o, specs, func(_ int, s spec) (sim.Time, error) {
+		return workload.MeasureStateLatency(s.m, s.p, s.st)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*Table
+	k := 0
+	for _, m := range machines {
+		states := statesFor(m)
+		cols := []string{"primitive"}
+		for _, st := range states {
 			cols = append(cols, st.String()+" (ns)")
 		}
 		t := NewTable("F1 ("+m.Name+"): single-op latency by line state", cols...)
 		for _, p := range atomics.All() {
 			row := []string{p.String()}
-			for _, st := range states {
-				lat, err := workload.MeasureStateLatency(m, p, st)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, ns(lat))
+			for range states {
+				row = append(row, ns(lats[k]))
+				k++
 			}
 			t.AddRow(row...)
 		}
@@ -52,8 +79,33 @@ func runF1(o Options) ([]*Table, error) {
 
 func runF2(o Options) ([]*Table, error) {
 	prims := atomics.All()
+	machines := o.machines()
+	type spec struct {
+		m *machine.Machine
+		n int
+		p atomics.Primitive
+	}
+	var specs []spec
+	for _, m := range machines {
+		for _, n := range o.threadSweep(m) {
+			for _, p := range prims {
+				specs = append(specs, spec{m, n, p})
+			}
+		}
+	}
+	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+		return workload.Run(workload.Config{
+			Machine: s.m, Threads: s.n, Primitive: s.p, Mode: workload.HighContention,
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var tables []*Table
-	for _, m := range o.machines() {
+	k := 0
+	for _, m := range machines {
 		cols := []string{"threads"}
 		for _, p := range prims {
 			cols = append(cols, p.String()+" (ns)")
@@ -61,15 +113,9 @@ func runF2(o Options) ([]*Table, error) {
 		t := NewTable("F2 ("+m.Name+"): mean per-op latency under high contention", cols...)
 		for _, n := range o.threadSweep(m) {
 			row := []string{itoa(n)}
-			for _, p := range prims {
-				res, err := workload.Run(workload.Config{
-					Machine: m, Threads: n, Primitive: p, Mode: workload.HighContention,
-					Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
-				})
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, ns(res.Latency.Mean()))
+			for range prims {
+				row = append(row, ns(results[k].Latency.Mean()))
+				k++
 			}
 			t.AddRow(row...)
 		}

@@ -5,6 +5,7 @@ import (
 
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/core"
+	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/stats"
 	"atomicsmodel/internal/workload"
 )
@@ -26,10 +27,35 @@ func init() {
 
 func runF7(o Options) ([]*Table, error) {
 	prims := []atomics.Primitive{atomics.FAA, atomics.CAS, atomics.SWAP, atomics.TAS}
+	machines := o.machines()
+	type spec struct {
+		m *machine.Machine
+		p atomics.Primitive
+		n int
+	}
+	var specs []spec
+	for _, m := range machines {
+		for _, p := range prims {
+			for _, n := range o.threadSweep(m) {
+				specs = append(specs, spec{m, p, n})
+			}
+		}
+	}
+	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+		return workload.Run(workload.Config{
+			Machine: s.m, Threads: s.n, Primitive: s.p, Mode: workload.HighContention,
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var tables []*Table
 	summary := NewTable("F7 summary: mean absolute percentage error of throughput predictions",
 		"machine", "primitive", "detailed MAPE", "simple MAPE")
-	for _, m := range o.machines() {
+	k := 0
+	for _, m := range machines {
 		det := core.NewDetailed(m)
 		simp, _, err := core.Calibrate(m)
 		if err != nil {
@@ -41,13 +67,8 @@ func runF7(o Options) ([]*Table, error) {
 		for _, p := range prims {
 			var simX, detX, simpX []float64
 			for _, n := range o.threadSweep(m) {
-				res, err := workload.Run(workload.Config{
-					Machine: m, Threads: n, Primitive: p, Mode: workload.HighContention,
-					Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
-				})
-				if err != nil {
-					return nil, err
-				}
+				res := results[k]
+				k++
 				cores, err := coresFor(m, nil, n)
 				if err != nil {
 					return nil, err

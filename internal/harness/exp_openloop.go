@@ -3,6 +3,7 @@ package harness
 import (
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/core"
+	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/sim"
 	"atomicsmodel/internal/workload"
 )
@@ -24,32 +25,61 @@ func runF19(o Options) ([]*Table, error) {
 	if o.Quick {
 		fractions = []float64{0.5, 0.9, 1.5}
 	}
-	var tables []*Table
+	var eligible []*machine.Machine
 	for _, m := range o.machines() {
-		if threads > m.NumHWThreads() {
-			continue
+		if threads <= m.NumHWThreads() {
+			eligible = append(eligible, m)
 		}
+	}
+	saturation := func(m *machine.Machine) (core.Prediction, error) {
 		cores, err := coresFor(m, nil, threads)
+		if err != nil {
+			return core.Prediction{}, err
+		}
+		return core.NewDetailed(m).PredictHigh(atomics.FAA, cores, 0), nil
+	}
+	type spec struct {
+		m *machine.Machine
+		f float64
+	}
+	var specs []spec
+	for _, m := range eligible {
+		for _, f := range fractions {
+			specs = append(specs, spec{m, f})
+		}
+	}
+	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+		sat, err := saturation(s.m)
 		if err != nil {
 			return nil, err
 		}
-		md := core.NewDetailed(m)
-		sat := md.PredictHigh(atomics.FAA, cores, 0) // server rate 1/s
+		offered := s.f * sat.ThroughputMops // total Mops
+		// Per-thread mean inter-arrival = threads / offered.
+		inter := sim.Time(float64(threads) / (offered * 1e6) * 1e12)
+		return workload.Run(workload.Config{
+			Machine: s.m, Threads: threads, Primitive: atomics.FAA,
+			Mode:     workload.HighContention,
+			OpenLoop: true, OpenLoopInterarrival: inter,
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*Table
+	k := 0
+	for _, m := range eligible {
+		sat, err := saturation(m)
+		if err != nil {
+			return nil, err
+		}
 		t := NewTable("F19 ("+m.Name+"): open-loop FAA, 16 arrival streams",
 			"offered/saturation", "offered (Mops)", "achieved (Mops)", "mean latency (ns)", "p99 (ns)")
 		for _, f := range fractions {
-			offered := f * sat.ThroughputMops // total Mops
-			// Per-thread mean inter-arrival = threads / offered.
-			inter := sim.Time(float64(threads) / (offered * 1e6) * 1e12)
-			res, err := workload.Run(workload.Config{
-				Machine: m, Threads: threads, Primitive: atomics.FAA,
-				Mode:     workload.HighContention,
-				OpenLoop: true, OpenLoopInterarrival: inter,
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
+			res := results[k]
+			k++
+			offered := f * sat.ThroughputMops
 			t.AddRow(f2(f), f2(offered), f2(res.ThroughputMops),
 				ns(res.Latency.Mean()), ns(res.Latency.Quantile(0.99)))
 		}

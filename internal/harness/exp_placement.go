@@ -26,21 +26,55 @@ func runF11(o Options) ([]*Table, error) {
 	placements := []machine.Placement{
 		machine.Compact{}, machine.Scatter{}, machine.SingleSocket{Socket: 0}, machine.SMTFirst{},
 	}
-	var tables []*Table
+	sweep := []int{2, 4, 8, 16}
+	if o.Quick {
+		sweep = []int{2, 8}
+	}
+	var eligible []*machine.Machine
 	for _, m := range o.machines() {
 		if m.Sockets < 2 && m.ThreadsPerCore < 2 {
 			continue // placement is immaterial
 		}
+		eligible = append(eligible, m)
+	}
+	// Only placements that can place n threads become cells; the others
+	// render as "-". Place is pure, so the assembly loop below makes the
+	// same skip decisions in the same order.
+	type spec struct {
+		m *machine.Machine
+		n int
+		p machine.Placement
+	}
+	var specs []spec
+	for _, m := range eligible {
+		for _, n := range sweep {
+			for _, p := range placements {
+				if _, err := p.Place(m, n); err == nil {
+					specs = append(specs, spec{m, n, p})
+				}
+			}
+		}
+	}
+	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+		return workload.Run(workload.Config{
+			Machine: s.m, Threads: s.n, Primitive: atomics.FAA,
+			Mode: workload.HighContention, Placement: s.p,
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*Table
+	k := 0
+	for _, m := range eligible {
 		md := core.NewDetailed(m)
 		cols := []string{"threads"}
 		for _, p := range placements {
 			cols = append(cols, p.Name()+" (Mops)", p.Name()+" model")
 		}
 		t := NewTable("F11 ("+m.Name+"): FAA throughput by placement, high contention", cols...)
-		sweep := []int{2, 4, 8, 16}
-		if o.Quick {
-			sweep = []int{2, 8}
-		}
 		for _, n := range sweep {
 			row := []string{itoa(n)}
 			for _, p := range placements {
@@ -49,14 +83,8 @@ func runF11(o Options) ([]*Table, error) {
 					row = append(row, "-", "-")
 					continue
 				}
-				res, err := workload.Run(workload.Config{
-					Machine: m, Threads: n, Primitive: atomics.FAA,
-					Mode: workload.HighContention, Placement: p,
-					Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
-				})
-				if err != nil {
-					return nil, err
-				}
+				res := results[k]
+				k++
 				cores := make([]int, n)
 				for i, s := range slots {
 					cores[i] = m.CoreOf(s)

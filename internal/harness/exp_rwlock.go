@@ -3,6 +3,7 @@ package harness
 import (
 	"atomicsmodel/internal/apps"
 	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/sim"
 )
 
@@ -21,42 +22,65 @@ func runF20(o Options) ([]*Table, error) {
 		fracs = []float64{0.50, 0.98}
 	}
 	const threads = 16
-	var tables []*Table
+	var eligible []*machine.Machine
 	for _, m := range o.machines() {
-		if threads > m.NumHWThreads() {
-			continue
+		if threads <= m.NumHWThreads() {
+			eligible = append(eligible, m)
 		}
+	}
+	// Two cells per row: central and distributed. Each carries its
+	// mutual-exclusion violation count out of the cell.
+	type cell struct {
+		res        *apps.RunResult
+		violations int
+	}
+	type spec struct {
+		m    *machine.Machine
+		rf   float64
+		dist bool
+	}
+	var specs []spec
+	for _, m := range eligible {
+		for _, rf := range fracs {
+			specs = append(specs, spec{m, rf, false}, spec{m, rf, true})
+		}
+	}
+	results, err := Fanout(o, specs, func(_ int, s spec) (cell, error) {
+		var violations func() int
+		build := func(e *sim.Engine, mem *atomics.Memory) apps.App {
+			if s.dist {
+				l := apps.NewDistributedRWLock(e, mem, threads, s.rf, 20*sim.Nanosecond)
+				violations = l.Violations
+				return l
+			}
+			l := apps.NewCentralRWLock(e, mem, s.rf, 20*sim.Nanosecond)
+			violations = l.Violations
+			return l
+		}
+		res, err := apps.Run(apps.RunConfig{
+			Machine: s.m, Threads: threads, Build: build,
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+		})
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{res: res, violations: violations()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*Table
+	k := 0
+	for _, m := range eligible {
 		t := NewTable("F20 ("+m.Name+"): RW-lock sections/s (M), 16 threads, 20ns sections",
 			"read fraction", "central (Mops)", "distributed (Mops)", "speedup", "violations")
 		for _, rf := range fracs {
-			rf := rf
-			var central *apps.CentralRWLock
-			cRes, err := apps.Run(apps.RunConfig{
-				Machine: m, Threads: threads,
-				Build: func(e *sim.Engine, mem *atomics.Memory) apps.App {
-					central = apps.NewCentralRWLock(e, mem, rf, 20*sim.Nanosecond)
-					return central
-				},
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			var dist *apps.DistributedRWLock
-			dRes, err := apps.Run(apps.RunConfig{
-				Machine: m, Threads: threads,
-				Build: func(e *sim.Engine, mem *atomics.Memory) apps.App {
-					dist = apps.NewDistributedRWLock(e, mem, threads, rf, 20*sim.Nanosecond)
-					return dist
-				},
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(f2(rf), f2(cRes.ThroughputMops), f2(dRes.ThroughputMops),
-				f2(dRes.ThroughputMops/cRes.ThroughputMops),
-				itoa(central.Violations()+dist.Violations()))
+			central, dist := results[k], results[k+1]
+			k += 2
+			t.AddRow(f2(rf), f2(central.res.ThroughputMops), f2(dist.res.ThroughputMops),
+				f2(dist.res.ThroughputMops/central.res.ThroughputMops),
+				itoa(central.violations+dist.violations))
 		}
 		t.AddNote("violations column is the in-simulator mutual-exclusion check (must be 0)")
 		tables = append(tables, t)

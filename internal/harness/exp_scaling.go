@@ -26,7 +26,34 @@ func runF17(o Options) ([]*Table, error) {
 	for _, s := range socketCounts {
 		cols = append(cols, itoa(s)+"S sim (Mops)", itoa(s)+"S model", itoa(s)+"S xsock")
 	}
+	// Scatter placement spreads contenders across every socket: the
+	// worst case the extrapolation warns about.
+	type spec struct {
+		n       int
+		sockets int
+	}
+	var specs []spec
+	for _, n := range threadRows {
+		for _, s := range socketCounts {
+			if n > machine.XeonMultiSocket(s).NumHWThreads() {
+				continue
+			}
+			specs = append(specs, spec{n, s})
+		}
+	}
+	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+		return workload.Run(workload.Config{
+			Machine: machine.XeonMultiSocket(s.sockets), Threads: s.n, Primitive: atomics.FAA,
+			Mode: workload.HighContention, Placement: machine.Scatter{},
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	t := NewTable("F17: FAA high contention, scatter placement across socket counts", cols...)
+	k := 0
 	for _, n := range threadRows {
 		row := []string{itoa(n)}
 		for _, s := range socketCounts {
@@ -35,18 +62,9 @@ func runF17(o Options) ([]*Table, error) {
 				row = append(row, "-", "-", "-")
 				continue
 			}
-			// Scatter placement spreads contenders across every
-			// socket: the worst case the extrapolation warns about.
-			pl := machine.Scatter{}
-			res, err := workload.Run(workload.Config{
-				Machine: m, Threads: n, Primitive: atomics.FAA,
-				Mode: workload.HighContention, Placement: pl,
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
-			})
-			if err != nil {
-				return nil, err
-			}
-			slots, err := pl.Place(m, n)
+			res := results[k]
+			k++
+			slots, err := (machine.Scatter{}).Place(m, n)
 			if err != nil {
 				return nil, err
 			}

@@ -3,6 +3,7 @@ package harness
 import (
 	"atomicsmodel/internal/apps"
 	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/sim"
 )
 
@@ -16,65 +17,84 @@ func init() {
 }
 
 func runF18(o Options) ([]*Table, error) {
-	var tables []*Table
-	for _, m := range o.machines() {
-		t := NewTable("F18 ("+m.Name+"): concurrent stack/queue ops (50/50 push-pop mix)",
-			"threads", "treiber (Mops)", "elim-4slot (Mops)", "elim-16slot (Mops)",
-			"elim rate (16)", "ms-queue (Mops)")
-		sweep := []int{4, 8, 16, 32}
-		if o.Quick {
-			sweep = []int{8, 16}
-		}
+	sweep := []int{4, 8, 16, 32}
+	if o.Quick {
+		sweep = []int{8, 16}
+	}
+	machines := o.machines()
+	// Four cells per row: treiber, elim-4, elim-16, ms-queue. The
+	// elimination cells also carry the stack's elimination count.
+	type cell struct {
+		res   *apps.RunResult
+		elims uint64
+	}
+	type spec struct {
+		m       *machine.Machine
+		n       int
+		variant int
+	}
+	var specs []spec
+	for _, m := range machines {
 		for _, n := range sweep {
 			if n > m.NumHWThreads() {
 				continue
 			}
-			treiber, err := apps.Run(apps.RunConfig{
-				Machine: m, Threads: n,
-				Build: func(e *sim.Engine, mem *atomics.Memory) apps.App {
-					return apps.NewTreiberStack(mem, 256)
-				},
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
-			})
-			if err != nil {
-				return nil, err
+			for v := 0; v < 4; v++ {
+				specs = append(specs, spec{m, n, v})
 			}
-			elim := func(slots int) (*apps.RunResult, *apps.EliminationStack, error) {
-				var st *apps.EliminationStack
-				res, err := apps.Run(apps.RunConfig{
-					Machine: m, Threads: n,
-					Build: func(e *sim.Engine, mem *atomics.Memory) apps.App {
-						st = apps.NewEliminationStack(e, mem, 256, slots, 200*sim.Nanosecond)
-						return st
-					},
-					Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
-				})
-				return res, st, err
+		}
+	}
+	results, err := Fanout(o, specs, func(_ int, s spec) (cell, error) {
+		var st *apps.EliminationStack
+		build := func(e *sim.Engine, mem *atomics.Memory) apps.App {
+			switch s.variant {
+			case 0:
+				return apps.NewTreiberStack(mem, 256)
+			case 1:
+				st = apps.NewEliminationStack(e, mem, 256, 4, 200*sim.Nanosecond)
+				return st
+			case 2:
+				st = apps.NewEliminationStack(e, mem, 256, 16, 200*sim.Nanosecond)
+				return st
+			default:
+				return apps.NewMSQueue(mem, 256)
 			}
-			e4, _, err := elim(4)
-			if err != nil {
-				return nil, err
+		}
+		res, err := apps.Run(apps.RunConfig{
+			Machine: s.m, Threads: s.n, Build: build,
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+		})
+		if err != nil {
+			return cell{}, err
+		}
+		c := cell{res: res}
+		if st != nil {
+			c.elims = st.Eliminations()
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*Table
+	k := 0
+	for _, m := range machines {
+		t := NewTable("F18 ("+m.Name+"): concurrent stack/queue ops (50/50 push-pop mix)",
+			"threads", "treiber (Mops)", "elim-4slot (Mops)", "elim-16slot (Mops)",
+			"elim rate (16)", "ms-queue (Mops)")
+		for _, n := range sweep {
+			if n > m.NumHWThreads() {
+				continue
 			}
-			e16, st16, err := elim(16)
-			if err != nil {
-				return nil, err
-			}
-			queue, err := apps.Run(apps.RunConfig{
-				Machine: m, Threads: n,
-				Build: func(e *sim.Engine, mem *atomics.Memory) apps.App {
-					return apps.NewMSQueue(mem, 256)
-				},
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
-			})
-			if err != nil {
-				return nil, err
-			}
+			treiber, e4, e16, queue := results[k], results[k+1], results[k+2], results[k+3]
+			k += 4
 			elimRate := 0.0
-			if e16.TotalOps > 0 {
-				elimRate = float64(st16.Eliminations()) / float64(e16.TotalOps)
+			if e16.res.TotalOps > 0 {
+				elimRate = float64(e16.elims) / float64(e16.res.TotalOps)
 			}
-			t.AddRow(itoa(n), f2(treiber.ThroughputMops), f2(e4.ThroughputMops),
-				f2(e16.ThroughputMops), f3(elimRate), f2(queue.ThroughputMops))
+			t.AddRow(itoa(n), f2(treiber.res.ThroughputMops), f2(e4.res.ThroughputMops),
+				f2(e16.res.ThroughputMops), f3(elimRate), f2(queue.res.ThroughputMops))
 		}
 		t.AddNote("elim rate = fraction of ops completed in the collision array instead of on the top pointer")
 		tables = append(tables, t)

@@ -18,38 +18,52 @@ func init() {
 }
 
 func runF22(o Options) ([]*Table, error) {
+	machines := o.machines()
+	// Four independent simulations per machine: the store workload and
+	// the burst probe, each on the synchronous and buffered variants.
+	type machineCells struct {
+		sync, buffered     *machine.Machine
+		sLat, sX, bLat, bX float64
+		sFAA, sFence       float64
+		bFAA, bFence       float64
+	}
+	rows := make([]machineCells, len(machines))
+	var tasks []func() error
+	for i, base := range machines {
+		i := i
+		rows[i].sync = base
+		rows[i].buffered = cloneWithStoreBuffer(base, 42)
+		tasks = append(tasks, func() error {
+			var err error
+			rows[i].sLat, rows[i].sX, err = storeWorkload(rows[i].sync, o)
+			return err
+		}, func() error {
+			var err error
+			rows[i].bLat, rows[i].bX, err = storeWorkload(rows[i].buffered, o)
+			return err
+		}, func() error {
+			var err error
+			rows[i].sFAA, rows[i].sFence, err = burstThenOrder(rows[i].sync)
+			return err
+		}, func() error {
+			var err error
+			rows[i].bFAA, rows[i].bFence, err = burstThenOrder(rows[i].buffered)
+			return err
+		})
+	}
+	if err := RunCells(o, len(tasks), func(i int) error { return tasks[i]() }); err != nil {
+		return nil, err
+	}
+
 	var tables []*Table
-	for _, base := range o.machines() {
-		sync := base
-		buffered := cloneWithStoreBuffer(base, 42)
+	for i, base := range machines {
+		r := rows[i]
 		t := NewTable("F22 ("+base.Name+"): synchronous stores vs TSO store buffer",
 			"measurement", "synchronous", "buffered (depth 42)")
-
-		// Thread-visible store latency and throughput, 16 threads on
-		// one hot line.
-		sLat, sX, err := storeWorkload(sync, o)
-		if err != nil {
-			return nil, err
-		}
-		bLat, bX, err := storeWorkload(buffered, o)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("store latency seen by thread, 16t (ns)", f1(sLat), f1(bLat))
-		t.AddRow("store throughput, 16t (Mops)", f2(sX), f2(bX))
-
-		// An atomic (and a fence) issued right after a burst of stores:
-		// with buffering they wait for the drain.
-		sFAA, sFence, err := burstThenOrder(sync)
-		if err != nil {
-			return nil, err
-		}
-		bFAA, bFence, err := burstThenOrder(buffered)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("FAA elapsed after 8-store burst (ns)", f1(sFAA), f1(bFAA))
-		t.AddRow("Fence elapsed after 8-store burst (ns)", f1(sFence), f1(bFence))
+		t.AddRow("store latency seen by thread, 16t (ns)", f1(r.sLat), f1(r.bLat))
+		t.AddRow("store throughput, 16t (Mops)", f2(r.sX), f2(r.bX))
+		t.AddRow("FAA elapsed after 8-store burst (ns)", f1(r.sFAA), f1(r.bFAA))
+		t.AddRow("Fence elapsed after 8-store burst (ns)", f1(r.sFence), f1(r.bFence))
 		t.AddNote("buffered stores retire at L1 speed; the line still bounds throughput via the drain; locked RMWs inherit the burst's drain time")
 		tables = append(tables, t)
 	}

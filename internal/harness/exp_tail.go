@@ -3,6 +3,7 @@ package harness
 import (
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/workload"
 )
 
@@ -25,22 +26,41 @@ func runF21(o Options) ([]*Table, error) {
 		{"random", func(seed uint64) coherence.Arbiter { return coherence.NewRandomArbiter(seed) }},
 		{"loc-skip64", func(uint64) coherence.Arbiter { return &coherence.LocalityArbiter{MaxSkips: 64} }},
 	}
-	var tables []*Table
+	var eligible []*machine.Machine
 	for _, m := range o.machines() {
-		if threads > m.NumHWThreads() {
-			continue
+		if threads <= m.NumHWThreads() {
+			eligible = append(eligible, m)
 		}
+	}
+	type spec struct {
+		m   *machine.Machine
+		arb int
+	}
+	var specs []spec
+	for _, m := range eligible {
+		for a := range arbs {
+			specs = append(specs, spec{m, a})
+		}
+	}
+	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+		return workload.Run(workload.Config{
+			Machine: s.m, Threads: threads, Primitive: atomics.FAA,
+			Mode: workload.HighContention, Arbiter: arbs[s.arb].mk(o.Seed),
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*Table
+	k := 0
+	for _, m := range eligible {
 		t := NewTable("F21 ("+m.Name+"): FAA attempt-latency distribution, 16 threads",
 			"arbitration", "p50 (ns)", "p95 (ns)", "p99 (ns)", "max (ns)", "p99/p50")
 		for _, a := range arbs {
-			res, err := workload.Run(workload.Config{
-				Machine: m, Threads: threads, Primitive: atomics.FAA,
-				Mode: workload.HighContention, Arbiter: a.mk(o.Seed),
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
+			res := results[k]
+			k++
 			p50 := res.Latency.Quantile(0.5)
 			p99 := res.Latency.Quantile(0.99)
 			ratio := 0.0

@@ -3,6 +3,7 @@ package harness
 import (
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/core"
+	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/sim"
 	"atomicsmodel/internal/workload"
 )
@@ -36,8 +37,33 @@ func init() {
 
 func runF3(o Options) ([]*Table, error) {
 	prims := atomics.All()
+	machines := o.machines()
+	type spec struct {
+		m *machine.Machine
+		n int
+		p atomics.Primitive
+	}
+	var specs []spec
+	for _, m := range machines {
+		for _, n := range o.threadSweep(m) {
+			for _, p := range prims {
+				specs = append(specs, spec{m, n, p})
+			}
+		}
+	}
+	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+		return workload.Run(workload.Config{
+			Machine: s.m, Threads: s.n, Primitive: s.p, Mode: workload.HighContention,
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var tables []*Table
-	for _, m := range o.machines() {
+	k := 0
+	for _, m := range machines {
 		cols := []string{"threads"}
 		for _, p := range prims {
 			cols = append(cols, p.String()+" (Mops)")
@@ -45,15 +71,9 @@ func runF3(o Options) ([]*Table, error) {
 		t := NewTable("F3 ("+m.Name+"): successful-op throughput under high contention", cols...)
 		for _, n := range o.threadSweep(m) {
 			row := []string{itoa(n)}
-			for _, p := range prims {
-				res, err := workload.Run(workload.Config{
-					Machine: m, Threads: n, Primitive: p, Mode: workload.HighContention,
-					Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
-				})
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, f2(res.ThroughputMops))
+			for range prims {
+				row = append(row, f2(results[k].ThroughputMops))
+				k++
 			}
 			t.AddRow(row...)
 		}
@@ -64,19 +84,36 @@ func runF3(o Options) ([]*Table, error) {
 }
 
 func runF4(o Options) ([]*Table, error) {
+	machines := o.machines()
+	type spec struct {
+		m *machine.Machine
+		n int
+	}
+	var specs []spec
+	for _, m := range machines {
+		for _, n := range o.threadSweep(m) {
+			specs = append(specs, spec{m, n})
+		}
+	}
+	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+		return workload.Run(workload.Config{
+			Machine: s.m, Threads: s.n, Primitive: atomics.CAS, Mode: workload.HighContention,
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var tables []*Table
-	for _, m := range o.machines() {
+	k := 0
+	for _, m := range machines {
 		t := NewTable("F4 ("+m.Name+"): CAS under high contention",
 			"threads", "attempts (Mops)", "successes (Mops)", "success rate",
 			"retries/success", "model rate (fifo)", "model rate (random)")
 		for _, n := range o.threadSweep(m) {
-			res, err := workload.Run(workload.Config{
-				Machine: m, Threads: n, Primitive: atomics.CAS, Mode: workload.HighContention,
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(n),
-			})
-			if err != nil {
-				return nil, err
-			}
+			res := results[k]
+			k++
 			retries := 0.0
 			if res.Ops > 0 {
 				retries = float64(res.Failures) / float64(res.Ops)
@@ -104,11 +141,36 @@ func runF8(o Options) ([]*Table, error) {
 		works = []sim.Time{0, 200 * sim.Nanosecond, 1600 * sim.Nanosecond, 6400 * sim.Nanosecond}
 	}
 	const threads = 16
-	var tables []*Table
+	var eligible []*machine.Machine
 	for _, m := range o.machines() {
-		if threads > m.NumHWThreads() {
-			continue
+		if threads <= m.NumHWThreads() {
+			eligible = append(eligible, m)
 		}
+	}
+	type spec struct {
+		m *machine.Machine
+		w sim.Time
+	}
+	var specs []spec
+	for _, m := range eligible {
+		for _, w := range works {
+			specs = append(specs, spec{m, w})
+		}
+	}
+	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+		return workload.Run(workload.Config{
+			Machine: s.m, Threads: threads, Primitive: atomics.FAA,
+			Mode: workload.HighContention, LocalWork: s.w,
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*Table
+	k := 0
+	for _, m := range eligible {
 		md := core.NewDetailed(m)
 		cores, err := coresFor(m, nil, threads)
 		if err != nil {
@@ -117,14 +179,8 @@ func runF8(o Options) ([]*Table, error) {
 		t := NewTable("F8 ("+m.Name+"): FAA throughput vs local work, 16 threads",
 			"work (ns)", "sim (Mops)", "model (Mops)", "sim latency (ns)", "model latency (ns)")
 		for _, w := range works {
-			res, err := workload.Run(workload.Config{
-				Machine: m, Threads: threads, Primitive: atomics.FAA,
-				Mode: workload.HighContention, LocalWork: w,
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
+			res := results[k]
+			k++
 			pred := md.PredictHigh(atomics.FAA, cores, w)
 			t.AddRow(ns(w), f2(res.ThroughputMops), f2(pred.ThroughputMops),
 				ns(res.Latency.Mean()), ns(pred.AttemptLatency))
@@ -138,22 +194,41 @@ func runF8(o Options) ([]*Table, error) {
 func runF12(o Options) ([]*Table, error) {
 	fracs := []float64{0, 0.5, 0.9, 0.99, 1.0}
 	const threads = 16
-	var tables []*Table
+	var eligible []*machine.Machine
 	for _, m := range o.machines() {
-		if threads > m.NumHWThreads() {
-			continue
+		if threads <= m.NumHWThreads() {
+			eligible = append(eligible, m)
 		}
+	}
+	type spec struct {
+		m  *machine.Machine
+		rf float64
+	}
+	var specs []spec
+	for _, m := range eligible {
+		for _, rf := range fracs {
+			specs = append(specs, spec{m, rf})
+		}
+	}
+	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+		return workload.Run(workload.Config{
+			Machine: s.m, Threads: threads, Primitive: atomics.FAA,
+			Mode: workload.ReadWriteMix, ReadFraction: s.rf,
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*Table
+	k := 0
+	for _, m := range eligible {
 		t := NewTable("F12 ("+m.Name+"): FAA/Load mix on one shared line, 16 threads",
 			"read fraction", "throughput (Mops)", "local-hit rate", "remote transfers/op")
 		for _, rf := range fracs {
-			res, err := workload.Run(workload.Config{
-				Machine: m, Threads: threads, Primitive: atomics.FAA,
-				Mode: workload.ReadWriteMix, ReadFraction: rf,
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
+			res := results[k]
+			k++
 			localRate, remotePerOp := 0.0, 0.0
 			if res.Coh.Accesses > 0 {
 				localRate = float64(res.Coh.LocalHits) / float64(res.Coh.Accesses)

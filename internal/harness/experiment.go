@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/sim"
@@ -17,6 +18,14 @@ type Options struct {
 	Quick bool
 	// Seed is the base seed; distinct configurations derive their own.
 	Seed uint64
+	// Par is the maximum number of simulation cells run concurrently;
+	// zero or negative means GOMAXPROCS. Results are independent of Par:
+	// cells are assembled in index order, so tables come out
+	// byte-identical whether Par is 1 or 64.
+	Par int
+	// Progress, when set, is called after each completed cell with
+	// (cells done, cells total). Calls are serialized by the scheduler.
+	Progress func(done, total int)
 }
 
 func (o Options) machines() []*machine.Machine {
@@ -106,22 +115,36 @@ func IDs() []string {
 	for id := range registry {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return orderKey(ids[i]) < orderKey(ids[j]) })
+	sort.Slice(ids, func(i, j int) bool {
+		ki, kj := orderKey(ids[i]), orderKey(ids[j])
+		if ki != kj {
+			return ki < kj
+		}
+		// Explicit tiebreak: sort.Slice is not stable, and two IDs can
+		// share a key (e.g. malformed IDs all keying to the trailer).
+		return ids[i] < ids[j]
+	})
 	return ids
 }
 
 // orderKey sorts T1 before figures and T2 after, figures numerically.
+// IDs whose suffix is not a number (or that are empty) sort after every
+// well-formed ID rather than silently keying as zero.
 func orderKey(id string) int {
-	var n int
-	fmt.Sscanf(id[1:], "%d", &n)
-	switch {
-	case id == "T1":
+	if id == "T1" {
 		return 0
-	case id[0] == 'F':
-		return n
-	default: // T2 and anything else trails
-		return 1000 + n
 	}
+	if len(id) < 2 {
+		return 1 << 20
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil {
+		return 1 << 20
+	}
+	if id[0] == 'F' {
+		return n
+	}
+	return 1000 + n // T2 and other prefixes trail the figures
 }
 
 // All returns every experiment in display order.

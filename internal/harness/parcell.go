@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel cell scheduler. A "cell" is one independent
+// simulation: one (machine, threads, primitive, ...) configuration run
+// to completion on its own engine. Cells never share mutable state —
+// every cell builds a fresh engine, memory, and RNG from its own
+// derived seed — so the scheduler may run them in any order on any
+// number of workers. Determinism is preserved by construction: results
+// are written into an index-addressed slot per cell and consumed in
+// index order, so the assembled tables are byte-identical to a serial
+// run regardless of worker count or completion order. Parallelism lives
+// strictly across cells, never inside an engine.
+
+// par returns the worker count: Options.Par when positive, otherwise
+// the process's GOMAXPROCS.
+func (o Options) par() int {
+	if o.Par > 0 {
+		return o.Par
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// progress reports cell completion to the Options.Progress callback, if
+// any. RunCells serializes calls, so callbacks need no locking.
+func (o Options) progress(done, total int) {
+	if o.Progress != nil {
+		o.Progress(done, total)
+	}
+}
+
+// RunCells executes fn(0), fn(1), ..., fn(n-1) on up to o.par()
+// workers. Each index is claimed exactly once. On error the workers
+// stop claiming new cells, already-claimed cells finish, and the error
+// with the lowest index is returned — the same one a serial in-order
+// run would have hit first, so error behavior is deterministic too.
+func RunCells(o Options, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := o.par()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+			o.progress(i+1, n)
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next, done atomic.Int64
+	var failed atomic.Bool
+	var mu sync.Mutex // serializes Progress callbacks
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				d := int(done.Add(1))
+				if o.Progress != nil {
+					mu.Lock()
+					o.Progress(d, n)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fanout runs f over every spec on the cell scheduler and returns the
+// results in spec order. f receives the spec's index so it can derive
+// per-cell seeds or labels without capturing loop variables.
+func Fanout[S, R any](o Options, specs []S, f func(i int, spec S) (R, error)) ([]R, error) {
+	out := make([]R, len(specs))
+	err := RunCells(o, len(specs), func(i int) error {
+		r, err := f(i, specs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

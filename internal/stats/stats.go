@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"atomicsmodel/internal/sim"
@@ -42,7 +43,7 @@ func bucketOf(v sim.Time) int {
 	}
 	// Octave = floor(log2(v)); sub-bucket from the next 3 bits.
 	x := uint64(v)
-	octave := 63 - leadingZeros(x)
+	octave := 63 - bits.LeadingZeros64(x)
 	var sub uint64
 	if octave >= 3 {
 		sub = (x >> (uint(octave) - 3)) & 7
@@ -54,18 +55,6 @@ func bucketOf(v sim.Time) int {
 		b = maxBuckets - 1
 	}
 	return b
-}
-
-func leadingZeros(x uint64) int {
-	n := 0
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
-		if n == 64 {
-			break
-		}
-	}
-	return n
 }
 
 // bucketLow returns the lower bound of bucket b (used for quantiles).

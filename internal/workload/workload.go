@@ -172,6 +172,15 @@ type thread struct {
 	// spanStart marks the start of the current CAS retry span.
 	spanStart sim.Time
 	inSpan    bool
+	// expected is the CAS expected value captured at issue time, read by
+	// the prebaked casDone callback. Valid in closed-loop runs, where a
+	// thread has at most one operation in flight.
+	expected uint64
+	// Prebaked per-thread callbacks, built once in Run so the hot
+	// issue/complete loop does not allocate a closure per operation.
+	opDone    func(atomics.Result)
+	casDone   func(atomics.Result)
+	operateFn func()
 }
 
 type runner struct {
@@ -223,6 +232,15 @@ func Run(cfg Config) (*Result, error) {
 	for i := 0; i < cfg.Threads; i++ {
 		th := &thread{id: i, core: cfg.Machine.CoreOf(slots[i]), rng: root.Split()}
 		th.lines = r.linesFor(i)
+		th.opDone = func(res atomics.Result) { r.complete(th, res, true) }
+		th.casDone = func(res atomics.Result) {
+			th.lastSeen = res.Old
+			if res.OK {
+				th.lastSeen = th.expected + 1
+			}
+			r.complete(th, res, res.OK)
+		}
+		th.operateFn = func() { r.operate(th) }
 		r.threads = append(r.threads, th)
 	}
 
@@ -313,7 +331,7 @@ func (r *runner) step(th *thread) {
 		think = th.rng.Exp(think)
 	}
 	if think > 0 {
-		r.eng.Schedule(think, func() { r.operate(th) })
+		r.eng.Schedule(think, th.operateFn)
 	} else {
 		r.operate(th)
 	}
@@ -338,17 +356,23 @@ func (r *runner) operate(th *thread) {
 			th.spanStart = r.eng.Now()
 		}
 		expected := th.lastSeen
-		r.mem.Do(p, th.core, line, expected, expected+1, func(res atomics.Result) {
-			th.lastSeen = res.Old
-			if res.OK {
-				th.lastSeen = expected + 1
-			}
-			r.complete(th, res, res.OK)
-		})
+		if r.cfg.OpenLoop {
+			// Open-loop threads can have several CASes in flight, each
+			// needing the expected value it was issued with — so this
+			// path keeps the per-op closure.
+			r.mem.Do(p, th.core, line, expected, expected+1, func(res atomics.Result) {
+				th.lastSeen = res.Old
+				if res.OK {
+					th.lastSeen = expected + 1
+				}
+				r.complete(th, res, res.OK)
+			})
+			return
+		}
+		th.expected = expected
+		r.mem.Do(p, th.core, line, expected, expected+1, th.casDone)
 	default:
-		r.mem.Do(p, th.core, line, 1, 0, func(res atomics.Result) {
-			r.complete(th, res, true)
-		})
+		r.mem.Do(p, th.core, line, 1, 0, th.opDone)
 	}
 }
 

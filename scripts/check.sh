@@ -1,0 +1,13 @@
+#!/bin/sh
+# Repo checks: static analysis plus a race-detector pass over the two
+# packages with real concurrency (the cell scheduler) and the hottest
+# pooled data structures (the coherence layer). Run from the repo root.
+set -eu
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./internal/harness ./internal/coherence"
+go test -race ./internal/harness ./internal/coherence
+
+echo "ok"
