@@ -10,9 +10,13 @@
 //	atomicsim -par 4              # cap concurrent simulation cells
 //	atomicsim -csv results/       # additionally write one CSV per table
 //	atomicsim -list               # list experiment IDs and claims
+//	atomicsim -manifest run/      # also write a structured run manifest
+//	atomicsim -resume run/        # re-run only missing/failed cells
+//	atomicsim -checkmanifest run/ # validate a run directory and exit
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +28,7 @@ import (
 
 	"atomicsmodel/internal/harness"
 	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/runlog"
 )
 
 func main() {
@@ -40,6 +45,10 @@ func main() {
 		listIDs = flag.Bool("list", false, "list experiments and exit")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+
+		manifestDir = flag.String("manifest", "", "run directory for a structured manifest (manifest.jsonl + cells.jsonl); truncates a previous run")
+		resumeDir   = flag.String("resume", "", "resume a previous -manifest run directory: replay cached cells, re-run only missing or failed ones")
+		checkDir    = flag.String("checkmanifest", "", "validate a run directory's manifest and cache, print a summary, and exit")
 	)
 	flag.Parse()
 
@@ -47,6 +56,15 @@ func main() {
 		for _, e := range harness.All() {
 			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
 		}
+		return
+	}
+
+	if *checkDir != "" {
+		summary, err := runlog.Validate(*checkDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(summary)
 		return
 	}
 
@@ -63,6 +81,17 @@ func main() {
 	}
 
 	opts := harness.Options{Quick: *quick, Seed: *seed, Par: *par}
+	switch {
+	case *manifestDir != "" && *resumeDir != "":
+		fatal(errors.New("-manifest and -resume are mutually exclusive (resume reuses the run directory)"))
+	case *manifestDir != "":
+		attachRunDir(&opts, *manifestDir, false)
+	case *resumeDir != "":
+		attachRunDir(&opts, *resumeDir, true)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "resume: %d cached cells loaded from %s\n", opts.Cache.Loaded(), *resumeDir)
+		}
+	}
 	if *machs != "" {
 		for _, name := range strings.Split(*machs, ",") {
 			m, err := machine.ByName(strings.TrimSpace(name))
@@ -87,6 +116,7 @@ func main() {
 	}
 
 	suiteStart := time.Now()
+	var failed []string
 	for _, e := range exps {
 		fmt.Printf("== %s: %s\n   claim: %s\n\n", e.ID, e.Title, e.Claim)
 		expStart := time.Now()
@@ -103,9 +133,15 @@ func main() {
 				}
 			}
 		}
-		tables, err := e.Run(runOpts)
+		tables, err := harness.RunExperiment(e, runOpts)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
+			// A failed experiment no longer aborts the run: the failure is
+			// recorded (stderr + manifest, when attached), the remaining
+			// experiments still run, and the exit code reports it.
+			failed = append(failed, e.ID)
+			fmt.Printf("   FAILED: %v\n\n", err)
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", e.ID, err)
+			continue
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "%s done in %s\n", e.ID, time.Since(expStart).Round(time.Millisecond))
@@ -136,6 +172,17 @@ func main() {
 			len(exps), time.Since(suiteStart).Round(time.Millisecond))
 	}
 
+	if opts.Cache != nil {
+		if err := opts.Cache.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if opts.Manifest != nil {
+		if err := opts.Manifest.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *memProf != "" {
 		f, err := os.Create(*memProf)
 		if err != nil {
@@ -147,6 +194,31 @@ func main() {
 			fatal(err)
 		}
 	}
+
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "atomicsim: %d experiment(s) failed: %s\n",
+			len(failed), strings.Join(failed, ","))
+		os.Exit(1)
+	}
+}
+
+// attachRunDir opens a run directory's manifest and cell cache on opts.
+// resume=false starts a fresh run (truncating a previous one); true
+// appends to the manifest and keeps the cache so completed cells replay.
+func attachRunDir(opts *harness.Options, dir string, resume bool) {
+	open := runlog.Create
+	if resume {
+		open = runlog.Append
+	}
+	w, err := open(dir)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := runlog.OpenCache(dir)
+	if err != nil {
+		fatal(err)
+	}
+	opts.Manifest, opts.Cache = w, c
 }
 
 func writeCSV(dir, id string, idx int, t *harness.Table) error {

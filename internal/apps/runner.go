@@ -35,11 +35,20 @@ type RunResult struct {
 	ThroughputMops float64
 	Jain, MinMax   float64
 	// Mem is the memory the app ran on, for post-run correctness
-	// checks (counter values, lock data).
-	Mem *atomics.Memory
+	// checks (counter values, lock data). It is excluded from the JSON
+	// encoding used by the harness resume cache; table assembly must
+	// not depend on it.
+	Mem *atomics.Memory `json:"-"`
 	// TotalOps counts operations completed over the whole run
 	// including warmup, for invariant checks against app state.
 	TotalOps uint64
+}
+
+// CellStats reports the op count for harness run manifests. Apps do
+// not carry their measured window in the result, so only ops are
+// reported.
+func (r *RunResult) CellStats() (sim.Time, uint64) {
+	return 0, r.Ops
 }
 
 // Run executes one application benchmark.

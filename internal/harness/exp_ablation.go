@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"atomicsmodel/internal/apps"
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/coherence"
@@ -62,7 +64,9 @@ func runF13(o Options) ([]*Table, error) {
 			}
 		}
 	}
-	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+	results, err := FanoutKeyed(o, specs, func(s spec) string {
+		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, arbs[s.arb].name)
+	}, func(_ int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: atomics.FAA,
 			Mode: workload.HighContention, Arbiter: arbs[s.arb].mk(o.Seed),
@@ -112,43 +116,50 @@ func runF14(o Options) ([]*Table, error) {
 	fracs := []float64{0.9, 0.99}
 
 	// This runner mixes cell shapes (latency probes, mix runs, the
-	// crossbar table), so instead of one Fanout it fills result slots
-	// through a task list driven by RunCells.
-	type machineCells struct {
-		base, mesif *machine.Machine
-		sharedLat   [2]sim.Time            // MESI, MESIF
-		mix         [2][2]*workload.Result // read fraction x (MESI, MESIF)
-	}
-	rows := make([]machineCells, len(machines))
-	var tasks []func() error
+	// crossbar table), so it issues three keyed fan-outs: every cell gets
+	// a stable config key and participates in the manifest/resume cache.
+	type pair struct{ base, mesif *machine.Machine }
+	pairs := make([]pair, len(machines))
 	for i, base := range machines {
-		i := i
-		rows[i].base = base
-		rows[i].mesif = cloneWithForwarding(base)
-		tasks = append(tasks, func() error {
-			var err error
-			rows[i].sharedLat[0], err = sharedReadLatency(rows[i].base)
-			return err
-		}, func() error {
-			var err error
-			rows[i].sharedLat[1], err = sharedReadLatency(rows[i].mesif)
-			return err
-		})
-		for fi := range fracs {
-			fi := fi
-			for vi, m := range []*machine.Machine{rows[i].base, rows[i].mesif} {
-				vi, m := vi, m
-				tasks = append(tasks, func() error {
-					var err error
-					rows[i].mix[fi][vi], err = workload.Run(workload.Config{
-						Machine: m, Threads: 16, Primitive: atomics.FAA,
-						Mode: workload.ReadWriteMix, ReadFraction: fracs[fi],
-						Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-					})
-					return err
-				})
-			}
+		pairs[i] = pair{base, cloneWithForwarding(base)}
+	}
+
+	// Cold read of a Shared line, one probe per protocol variant. The
+	// MESIF clone's Name carries a "+F" suffix, so it keys distinctly.
+	var latMachines []*machine.Machine
+	for _, p := range pairs {
+		latMachines = append(latMachines, p.base, p.mesif)
+	}
+	lats, err := FanoutKeyed(o, latMachines, func(m *machine.Machine) string {
+		return "sharedlat/" + m.Name
+	}, func(_ int, m *machine.Machine) (sim.Time, error) {
+		return sharedReadLatency(m)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type mixSpec struct {
+		m  *machine.Machine
+		rf float64
+	}
+	var mixSpecs []mixSpec
+	for _, p := range pairs {
+		for _, rf := range fracs {
+			mixSpecs = append(mixSpecs, mixSpec{p.base, rf}, mixSpec{p.mesif, rf})
 		}
+	}
+	mixes, err := FanoutKeyed(o, mixSpecs, func(s mixSpec) string {
+		return fmt.Sprintf("mix/%s/read=%v", s.m.Name, s.rf)
+	}, func(_ int, s mixSpec) (*workload.Result, error) {
+		return workload.Run(workload.Config{
+			Machine: s.m, Threads: 16, Primitive: atomics.FAA,
+			Mode: workload.ReadWriteMix, ReadFraction: s.rf,
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+		})
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Topology ablation: same core count and latencies on an ideal
@@ -161,20 +172,15 @@ func runF14(o Options) ([]*Table, error) {
 		}
 		topoMachines = append(topoMachines, m)
 	}
-	topoRes := make([]*workload.Result, len(topoMachines))
-	for i, m := range topoMachines {
-		i, m := i, m
-		tasks = append(tasks, func() error {
-			var err error
-			topoRes[i], err = workload.Run(workload.Config{
-				Machine: m, Threads: 16, Primitive: atomics.FAA, Mode: workload.HighContention,
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			})
-			return err
+	topoRes, err := FanoutKeyed(o, topoMachines, func(m *machine.Machine) string {
+		return "topo/" + m.Name
+	}, func(_ int, m *machine.Machine) (*workload.Result, error) {
+		return workload.Run(workload.Config{
+			Machine: m, Threads: 16, Primitive: atomics.FAA, Mode: workload.HighContention,
+			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
 		})
-	}
-
-	if err := RunCells(o, len(tasks), func(i int) error { return tasks[i]() }); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
 
@@ -182,11 +188,11 @@ func runF14(o Options) ([]*Table, error) {
 	for i, base := range machines {
 		t := NewTable("F14 ("+base.Name+"): protocol ablation (MESI vs MESIF forwarding)",
 			"measurement", "MESI", "MESIF", "delta")
-		a, b := rows[i].sharedLat[0], rows[i].sharedLat[1]
+		a, b := lats[2*i], lats[2*i+1]
 		t.AddRow("cold read of S line (ns)", ns(a), ns(b),
 			pct((b.Nanoseconds()-a.Nanoseconds())/a.Nanoseconds()*100))
 		for fi, rf := range fracs {
-			ra, rb := rows[i].mix[fi][0], rows[i].mix[fi][1]
+			ra, rb := mixes[(i*len(fracs)+fi)*2], mixes[(i*len(fracs)+fi)*2+1]
 			delta := 0.0
 			if ra.ThroughputMops > 0 {
 				delta = (rb.ThroughputMops - ra.ThroughputMops) / ra.ThroughputMops * 100
@@ -269,7 +275,9 @@ func runF15(o Options) ([]*Table, error) {
 			specs = append(specs, spec{m, sc, 0}, spec{m, sc, 0.05})
 		}
 	}
-	results, err := Fanout(o, specs, func(_ int, s spec) (*apps.RunResult, error) {
+	results, err := FanoutKeyed(o, specs, func(s spec) string {
+		return fmt.Sprintf("%s/stripes=%d/reads=%v", s.m.Name, s.stripes, s.reads)
+	}, func(_ int, s spec) (*apps.RunResult, error) {
 		return apps.Run(apps.RunConfig{
 			Machine: s.m, Threads: threads,
 			Build: func(e *sim.Engine, mem *atomics.Memory) apps.App {

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"atomicsmodel/internal/apps"
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/core"
@@ -37,7 +39,13 @@ func runF9(o Options) ([]*Table, error) {
 			specs = append(specs, spec{m, n, false}, spec{m, n, true})
 		}
 	}
-	results, err := Fanout(o, specs, func(_ int, s spec) (*apps.RunResult, error) {
+	results, err := FanoutKeyed(o, specs, func(s spec) string {
+		kind := "faa"
+		if s.cas {
+			kind = "cas"
+		}
+		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, kind)
+	}, func(_ int, s spec) (*apps.RunResult, error) {
 		build := func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewFAACounter(mem) }
 		if s.cas {
 			build = func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewCASCounter(mem) }
@@ -127,7 +135,9 @@ func runF10(o Options) ([]*Table, error) {
 			}
 		}
 	}
-	results, err := Fanout(o, specs, func(_ int, s spec) (*apps.RunResult, error) {
+	results, err := FanoutKeyed(o, specs, func(s spec) string {
+		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, buildersFor(s.m)[s.b].name)
+	}, func(_ int, s spec) (*apps.RunResult, error) {
 		return apps.Run(apps.RunConfig{
 			Machine: s.m, Threads: s.n, Build: buildersFor(s.m)[s.b].mk,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),

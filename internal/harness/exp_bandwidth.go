@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/coherence"
 	"atomicsmodel/internal/machine"
@@ -32,14 +34,16 @@ func runF16(o Options) ([]*Table, error) {
 		base *machine.Machine
 		occ  float64
 	}
-	type cell struct{ storm, victimLat, stallShare float64 }
+	type cell struct{ Storm, VictimLat, StallShare float64 }
 	var specs []spec
 	for _, base := range machines {
 		for _, occ := range occupancies {
 			specs = append(specs, spec{base, occ})
 		}
 	}
-	results, err := Fanout(o, specs, func(_ int, s spec) (cell, error) {
+	results, err := FanoutKeyed(o, specs, func(s spec) string {
+		return fmt.Sprintf("%s/occ=%v", s.base.Name, s.occ)
+	}, func(_ int, s spec) (cell, error) {
 		m := *s.base
 		m.LinkOccupancy = m.Cycles(s.occ)
 		storm, victimLat, stallShare, err := stormAndVictim(&m, o)
@@ -59,9 +63,9 @@ func runF16(o Options) ([]*Table, error) {
 			c := results[k]
 			k++
 			if occ == 0 {
-				baselineLat = c.victimLat
+				baselineLat = c.VictimLat
 			}
-			t.AddRow(f1(occ), f2(c.storm), f1(c.victimLat), f2(c.victimLat/baselineLat), f3(c.stallShare))
+			t.AddRow(f1(occ), f2(c.Storm), f1(c.VictimLat), f2(c.VictimLat/baselineLat), f3(c.StallShare))
 		}
 		t.AddNote("victim cores sit across the machine from each other; their transfers share links with the storm")
 		tables = append(tables, t)

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/core"
 	"atomicsmodel/internal/machine"
@@ -40,7 +42,9 @@ func runF6(o Options) ([]*Table, error) {
 			}
 		}
 	}
-	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+	results, err := FanoutKeyed(o, specs, func(s spec) string {
+		return fmt.Sprintf("%s/n=%d/%s-%s", s.m.Name, s.n, cells[s.c].p, cells[s.c].mode)
+	}, func(_ int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: cells[s.c].p, Mode: cells[s.c].mode,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/coherence"
 	"atomicsmodel/internal/machine"
@@ -46,7 +48,13 @@ func runF5(o Options) ([]*Table, error) {
 			}
 		}
 	}
-	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+	results, err := FanoutKeyed(o, specs, func(s spec) string {
+		name := "cas-fifo"
+		if s.arb < len(arbs) {
+			name = "faa-" + arbs[s.arb].name
+		}
+		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, name)
+	}, func(_ int, s spec) (*workload.Result, error) {
 		if s.arb == len(arbs) {
 			return workload.Run(workload.Config{
 				Machine: s.m, Threads: s.n, Primitive: atomics.CAS,

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/sim"
@@ -47,7 +49,9 @@ func runF1(o Options) ([]*Table, error) {
 			}
 		}
 	}
-	lats, err := Fanout(o, specs, func(_ int, s spec) (sim.Time, error) {
+	lats, err := FanoutKeyed(o, specs, func(s spec) string {
+		return s.m.Name + "/" + s.p.String() + "/" + s.st.String()
+	}, func(_ int, s spec) (sim.Time, error) {
 		return workload.MeasureStateLatency(s.m, s.p, s.st)
 	})
 	if err != nil {
@@ -93,7 +97,9 @@ func runF2(o Options) ([]*Table, error) {
 			}
 		}
 	}
-	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+	results, err := FanoutKeyed(o, specs, func(s spec) string {
+		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, s.p)
+	}, func(_ int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: s.p, Mode: workload.HighContention,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"math"
 
 	"atomicsmodel/internal/atomics"
@@ -41,7 +42,9 @@ func runF7(o Options) ([]*Table, error) {
 			}
 		}
 	}
-	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+	results, err := FanoutKeyed(o, specs, func(s spec) string {
+		return fmt.Sprintf("%s/%s/n=%d", s.m.Name, s.p, s.n)
+	}, func(_ int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: s.p, Mode: workload.HighContention,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),

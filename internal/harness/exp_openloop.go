@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/core"
 	"atomicsmodel/internal/machine"
@@ -48,7 +50,9 @@ func runF19(o Options) ([]*Table, error) {
 			specs = append(specs, spec{m, f})
 		}
 	}
-	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+	results, err := FanoutKeyed(o, specs, func(s spec) string {
+		return fmt.Sprintf("%s/offered=%v", s.m.Name, s.f)
+	}, func(_ int, s spec) (*workload.Result, error) {
 		sat, err := saturation(s.m)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"atomicsmodel/internal/apps"
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/machine"
@@ -29,10 +31,11 @@ func runF20(o Options) ([]*Table, error) {
 		}
 	}
 	// Two cells per row: central and distributed. Each carries its
-	// mutual-exclusion violation count out of the cell.
+	// mutual-exclusion violation count out of the cell. Fields are
+	// exported so the cell survives the manifest cache's JSON round trip.
 	type cell struct {
-		res        *apps.RunResult
-		violations int
+		Res        *apps.RunResult
+		Violations int
 	}
 	type spec struct {
 		m    *machine.Machine
@@ -45,7 +48,13 @@ func runF20(o Options) ([]*Table, error) {
 			specs = append(specs, spec{m, rf, false}, spec{m, rf, true})
 		}
 	}
-	results, err := Fanout(o, specs, func(_ int, s spec) (cell, error) {
+	results, err := FanoutKeyed(o, specs, func(s spec) string {
+		kind := "central"
+		if s.dist {
+			kind = "dist"
+		}
+		return fmt.Sprintf("%s/read=%v/%s", s.m.Name, s.rf, kind)
+	}, func(_ int, s spec) (cell, error) {
 		var violations func() int
 		build := func(e *sim.Engine, mem *atomics.Memory) apps.App {
 			if s.dist {
@@ -64,7 +73,7 @@ func runF20(o Options) ([]*Table, error) {
 		if err != nil {
 			return cell{}, err
 		}
-		return cell{res: res, violations: violations()}, nil
+		return cell{Res: res, Violations: violations()}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -78,9 +87,9 @@ func runF20(o Options) ([]*Table, error) {
 		for _, rf := range fracs {
 			central, dist := results[k], results[k+1]
 			k += 2
-			t.AddRow(f2(rf), f2(central.res.ThroughputMops), f2(dist.res.ThroughputMops),
-				f2(dist.res.ThroughputMops/central.res.ThroughputMops),
-				itoa(central.violations+dist.violations))
+			t.AddRow(f2(rf), f2(central.Res.ThroughputMops), f2(dist.Res.ThroughputMops),
+				f2(dist.Res.ThroughputMops/central.Res.ThroughputMops),
+				itoa(central.Violations+dist.Violations))
 		}
 		t.AddNote("violations column is the in-simulator mutual-exclusion check (must be 0)")
 		tables = append(tables, t)

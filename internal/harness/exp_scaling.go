@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/core"
 	"atomicsmodel/internal/machine"
@@ -41,7 +43,9 @@ func runF17(o Options) ([]*Table, error) {
 			specs = append(specs, spec{n, s})
 		}
 	}
-	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+	results, err := FanoutKeyed(o, specs, func(s spec) string {
+		return fmt.Sprintf("sockets=%d/n=%d", s.sockets, s.n)
+	}, func(_ int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: machine.XeonMultiSocket(s.sockets), Threads: s.n, Primitive: atomics.FAA,
 			Mode: workload.HighContention, Placement: machine.Scatter{},

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"atomicsmodel/internal/apps"
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/machine"
@@ -24,9 +26,12 @@ func runF18(o Options) ([]*Table, error) {
 	machines := o.machines()
 	// Four cells per row: treiber, elim-4, elim-16, ms-queue. The
 	// elimination cells also carry the stack's elimination count.
+	// Fields are exported so the cell survives the manifest cache's JSON
+	// round trip.
+	variants := []string{"treiber", "elim-4", "elim-16", "ms-queue"}
 	type cell struct {
-		res   *apps.RunResult
-		elims uint64
+		Res   *apps.RunResult
+		Elims uint64
 	}
 	type spec struct {
 		m       *machine.Machine
@@ -44,7 +49,9 @@ func runF18(o Options) ([]*Table, error) {
 			}
 		}
 	}
-	results, err := Fanout(o, specs, func(_ int, s spec) (cell, error) {
+	results, err := FanoutKeyed(o, specs, func(s spec) string {
+		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, variants[s.variant])
+	}, func(_ int, s spec) (cell, error) {
 		var st *apps.EliminationStack
 		build := func(e *sim.Engine, mem *atomics.Memory) apps.App {
 			switch s.variant {
@@ -67,9 +74,9 @@ func runF18(o Options) ([]*Table, error) {
 		if err != nil {
 			return cell{}, err
 		}
-		c := cell{res: res}
+		c := cell{Res: res}
 		if st != nil {
-			c.elims = st.Eliminations()
+			c.Elims = st.Eliminations()
 		}
 		return c, nil
 	})
@@ -90,11 +97,11 @@ func runF18(o Options) ([]*Table, error) {
 			treiber, e4, e16, queue := results[k], results[k+1], results[k+2], results[k+3]
 			k += 4
 			elimRate := 0.0
-			if e16.res.TotalOps > 0 {
-				elimRate = float64(e16.elims) / float64(e16.res.TotalOps)
+			if e16.Res.TotalOps > 0 {
+				elimRate = float64(e16.Elims) / float64(e16.Res.TotalOps)
 			}
-			t.AddRow(itoa(n), f2(treiber.res.ThroughputMops), f2(e4.res.ThroughputMops),
-				f2(e16.res.ThroughputMops), f3(elimRate), f2(queue.res.ThroughputMops))
+			t.AddRow(itoa(n), f2(treiber.Res.ThroughputMops), f2(e4.Res.ThroughputMops),
+				f2(e16.Res.ThroughputMops), f3(elimRate), f2(queue.Res.ThroughputMops))
 		}
 		t.AddNote("elim rate = fraction of ops completed in the collision array instead of on the top pointer")
 		tables = append(tables, t)

@@ -21,49 +21,53 @@ func runF22(o Options) ([]*Table, error) {
 	machines := o.machines()
 	// Four independent simulations per machine: the store workload and
 	// the burst probe, each on the synchronous and buffered variants.
-	type machineCells struct {
-		sync, buffered     *machine.Machine
-		sLat, sX, bLat, bX float64
-		sFAA, sFence       float64
-		bFAA, bFence       float64
+	// The buffered clone's Name carries "+SB", so every cell keys
+	// distinctly; fields are exported for the manifest cache.
+	type cell struct {
+		LatNs, Mops    float64 // store workload
+		FAANs, FenceNs float64 // burst probe
 	}
-	rows := make([]machineCells, len(machines))
-	var tasks []func() error
-	for i, base := range machines {
-		i := i
-		rows[i].sync = base
-		rows[i].buffered = cloneWithStoreBuffer(base, 42)
-		tasks = append(tasks, func() error {
-			var err error
-			rows[i].sLat, rows[i].sX, err = storeWorkload(rows[i].sync, o)
-			return err
-		}, func() error {
-			var err error
-			rows[i].bLat, rows[i].bX, err = storeWorkload(rows[i].buffered, o)
-			return err
-		}, func() error {
-			var err error
-			rows[i].sFAA, rows[i].sFence, err = burstThenOrder(rows[i].sync)
-			return err
-		}, func() error {
-			var err error
-			rows[i].bFAA, rows[i].bFence, err = burstThenOrder(rows[i].buffered)
-			return err
-		})
+	type probe struct {
+		m     *machine.Machine
+		burst bool
 	}
-	if err := RunCells(o, len(tasks), func(i int) error { return tasks[i]() }); err != nil {
+	var specs []probe
+	for _, base := range machines {
+		buffered := cloneWithStoreBuffer(base, 42)
+		specs = append(specs,
+			probe{base, false}, probe{buffered, false},
+			probe{base, true}, probe{buffered, true})
+	}
+	results, err := FanoutKeyed(o, specs, func(s probe) string {
+		kind := "store"
+		if s.burst {
+			kind = "burst"
+		}
+		return kind + "/" + s.m.Name
+	}, func(_ int, s probe) (cell, error) {
+		var c cell
+		var err error
+		if s.burst {
+			c.FAANs, c.FenceNs, err = burstThenOrder(s.m)
+		} else {
+			c.LatNs, c.Mops, err = storeWorkload(s.m, o)
+		}
+		return c, err
+	})
+	if err != nil {
 		return nil, err
 	}
 
 	var tables []*Table
 	for i, base := range machines {
-		r := rows[i]
+		sStore, bStore := results[4*i], results[4*i+1]
+		sBurst, bBurst := results[4*i+2], results[4*i+3]
 		t := NewTable("F22 ("+base.Name+"): synchronous stores vs TSO store buffer",
 			"measurement", "synchronous", "buffered (depth 42)")
-		t.AddRow("store latency seen by thread, 16t (ns)", f1(r.sLat), f1(r.bLat))
-		t.AddRow("store throughput, 16t (Mops)", f2(r.sX), f2(r.bX))
-		t.AddRow("FAA elapsed after 8-store burst (ns)", f1(r.sFAA), f1(r.bFAA))
-		t.AddRow("Fence elapsed after 8-store burst (ns)", f1(r.sFence), f1(r.bFence))
+		t.AddRow("store latency seen by thread, 16t (ns)", f1(sStore.LatNs), f1(bStore.LatNs))
+		t.AddRow("store throughput, 16t (Mops)", f2(sStore.Mops), f2(bStore.Mops))
+		t.AddRow("FAA elapsed after 8-store burst (ns)", f1(sBurst.FAANs), f1(bBurst.FAANs))
+		t.AddRow("Fence elapsed after 8-store burst (ns)", f1(sBurst.FenceNs), f1(bBurst.FenceNs))
 		t.AddNote("buffered stores retire at L1 speed; the line still bounds throughput via the drain; locked RMWs inherit the burst's drain time")
 		tables = append(tables, t)
 	}

@@ -42,7 +42,9 @@ func runF21(o Options) ([]*Table, error) {
 			specs = append(specs, spec{m, a})
 		}
 	}
-	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+	results, err := FanoutKeyed(o, specs, func(s spec) string {
+		return s.m.Name + "/" + arbs[s.arb].name
+	}, func(_ int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: threads, Primitive: atomics.FAA,
 			Mode: workload.HighContention, Arbiter: arbs[s.arb].mk(o.Seed),

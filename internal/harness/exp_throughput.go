@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/core"
 	"atomicsmodel/internal/machine"
@@ -51,7 +53,9 @@ func runF3(o Options) ([]*Table, error) {
 			}
 		}
 	}
-	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+	results, err := FanoutKeyed(o, specs, func(s spec) string {
+		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, s.p)
+	}, func(_ int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: s.p, Mode: workload.HighContention,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
@@ -95,7 +99,9 @@ func runF4(o Options) ([]*Table, error) {
 			specs = append(specs, spec{m, n})
 		}
 	}
-	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+	results, err := FanoutKeyed(o, specs, func(s spec) string {
+		return fmt.Sprintf("%s/n=%d", s.m.Name, s.n)
+	}, func(_ int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: atomics.CAS, Mode: workload.HighContention,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
@@ -157,7 +163,9 @@ func runF8(o Options) ([]*Table, error) {
 			specs = append(specs, spec{m, w})
 		}
 	}
-	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+	results, err := FanoutKeyed(o, specs, func(s spec) string {
+		return fmt.Sprintf("%s/work=%d", s.m.Name, int64(s.w))
+	}, func(_ int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: threads, Primitive: atomics.FAA,
 			Mode: workload.HighContention, LocalWork: s.w,
@@ -210,7 +218,9 @@ func runF12(o Options) ([]*Table, error) {
 			specs = append(specs, spec{m, rf})
 		}
 	}
-	results, err := Fanout(o, specs, func(_ int, s spec) (*workload.Result, error) {
+	results, err := FanoutKeyed(o, specs, func(s spec) string {
+		return fmt.Sprintf("%s/read=%v", s.m.Name, s.rf)
+	}, func(_ int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: threads, Primitive: atomics.FAA,
 			Mode: workload.ReadWriteMix, ReadFraction: s.rf,

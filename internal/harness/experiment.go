@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"time"
 
 	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/runlog"
 	"atomicsmodel/internal/sim"
 )
 
@@ -26,6 +28,26 @@ type Options struct {
 	// Progress, when set, is called after each completed cell with
 	// (cells done, cells total). Calls are serialized by the scheduler.
 	Progress func(done, total int)
+	// Exp is the ID of the experiment this Options drives (set by
+	// RunExperiment). It namespaces manifest records and cache keys.
+	Exp string
+	// Manifest, when non-nil, receives one structured JSON-lines record
+	// per completed cell plus experiment summaries (see internal/runlog).
+	Manifest *runlog.Writer
+	// Cache, when non-nil, is the content-keyed cell-result cache:
+	// keyed cells whose config digest is already present replay the
+	// stored result instead of re-simulating. Results are independent
+	// of the cache by construction — cached results must round-trip
+	// through JSON byte-exactly, which FanoutKeyed enforces.
+	Cache *runlog.Cache
+}
+
+// cellKey turns a runner-local cell key into the cache's full config
+// key: experiment ID plus every base option that changes results (the
+// seed and the Quick sweep trimming; Par never affects results). The
+// per-cell part must itself name the machine and every swept knob.
+func (o Options) cellKey(k string) string {
+	return fmt.Sprintf("%s|seed=%d|quick=%v|%s", o.Exp, o.Seed, o.Quick, k)
 }
 
 func (o Options) machines() []*machine.Machine {
@@ -154,4 +176,35 @@ func All() []*Experiment {
 		out = append(out, registry[id])
 	}
 	return out
+}
+
+// RunExperiment runs e with o after stamping o.Exp, and records an
+// experiment-level manifest record (cell counts, wall time, error) when
+// a manifest is attached. Drivers should prefer it over calling e.Run
+// directly so every experiment shows up in the run manifest.
+func RunExperiment(e *Experiment, o Options) ([]*Table, error) {
+	o.Exp = e.ID
+	start := time.Now()
+	var cells0, cached0, failed0 int
+	if o.Manifest != nil {
+		cells0, cached0, failed0 = o.Manifest.Totals()
+	}
+	tables, err := e.Run(o)
+	if o.Manifest != nil {
+		cells, cached, failed := o.Manifest.Totals()
+		rec := runlog.ExpRecord{
+			Exp:    e.ID,
+			Cells:  cells - cells0,
+			Cached: cached - cached0,
+			Failed: failed - failed0,
+			WallMS: float64(time.Since(start)) / float64(time.Millisecond),
+		}
+		if err != nil {
+			rec.Error = err.Error()
+		}
+		if werr := o.Manifest.Exp(rec); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return tables, err
 }

@@ -1,9 +1,17 @@
 package harness
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"atomicsmodel/internal/runlog"
+	"atomicsmodel/internal/sim"
 )
 
 // This file is the parallel cell scheduler. A "cell" is one independent
@@ -16,6 +24,11 @@ import (
 // index order, so the assembled tables are byte-identical to a serial
 // run regardless of worker count or completion order. Parallelism lives
 // strictly across cells, never inside an engine.
+//
+// Cells are also crash-isolated: a panicking cell is recovered and
+// converted into an ordinary per-cell error, so sibling cells finish,
+// their results reach the manifest and resume cache, and the process
+// survives to render what it can.
 
 // par returns the worker count: Options.Par when positive, otherwise
 // the process's GOMAXPROCS.
@@ -34,11 +47,41 @@ func (o Options) progress(done, total int) {
 	}
 }
 
+// CellPanicError is a panic recovered from one cell, converted into a
+// deterministic error. Error() deliberately excludes the stack — the
+// message must be identical whether the cell panicked on a serial or a
+// parallel scheduler — but the stack is preserved for the manifest and
+// for human debugging.
+type CellPanicError struct {
+	// Cell is the panicking cell's index.
+	Cell int
+	// Value is the value passed to panic.
+	Value interface{}
+	// Stack is the panicking goroutine's stack trace.
+	Stack string
+}
+
+func (e *CellPanicError) Error() string {
+	return fmt.Sprintf("cell %d panicked: %v", e.Cell, e.Value)
+}
+
+// safeCell runs fn(i), converting a panic into a *CellPanicError.
+func safeCell(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &CellPanicError{Cell: i, Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return fn(i)
+}
+
 // RunCells executes fn(0), fn(1), ..., fn(n-1) on up to o.par()
-// workers. Each index is claimed exactly once. On error the workers
-// stop claiming new cells, already-claimed cells finish, and the error
-// with the lowest index is returned — the same one a serial in-order
-// run would have hit first, so error behavior is deterministic too.
+// workers. Each index is claimed exactly once. A cell that panics is
+// recovered into a *CellPanicError instead of crashing the process. On
+// error the workers stop claiming new cells, already-claimed cells
+// finish, and the error with the lowest index is returned — the same
+// one a serial in-order run would have hit first, so error behavior is
+// deterministic too.
 func RunCells(o Options, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -49,7 +92,7 @@ func RunCells(o Options, n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := safeCell(i, fn); err != nil {
 				return err
 			}
 			o.progress(i+1, n)
@@ -71,7 +114,7 @@ func RunCells(o Options, n int, fn func(i int) error) error {
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := safeCell(i, fn); err != nil {
 					errs[i] = err
 					failed.Store(true)
 					continue
@@ -96,19 +139,144 @@ func RunCells(o Options, n int, fn func(i int) error) error {
 
 // Fanout runs f over every spec on the cell scheduler and returns the
 // results in spec order. f receives the spec's index so it can derive
-// per-cell seeds or labels without capturing loop variables.
+// per-cell seeds or labels without capturing loop variables. Cells are
+// anonymous: they are recorded in the manifest by index but never
+// cached. Runners whose cells should participate in resume use
+// FanoutKeyed instead.
 func Fanout[S, R any](o Options, specs []S, f func(i int, spec S) (R, error)) ([]R, error) {
+	return FanoutKeyed(o, specs, nil, f)
+}
+
+// cellStats is implemented by result types that can report the
+// simulated measurement window and completed-operation count for the
+// manifest. *workload.Result and *apps.RunResult implement it.
+type cellStats interface {
+	CellStats() (simTime sim.Time, ops uint64)
+}
+
+// FanoutKeyed is Fanout plus cell identity: key(spec) names the cell's
+// full configuration (machine, thread count, primitive, every swept
+// knob — anything that changes its result). The key is combined with
+// the experiment ID and base options into a config key that addresses
+// the manifest and the resume cache:
+//
+//   - with Options.Manifest set, every cell appends a structured record
+//     (key, result digest, wall time, ops, error/panic);
+//   - with Options.Cache set, a cell whose key is already cached
+//     replays the stored result instead of re-simulating, and fresh
+//     results are stored for the next run.
+//
+// Cached results must be substitutable for fresh ones, so when a cache
+// is attached the fresh result is round-tripped through its JSON
+// encoding and the re-encoding is required to be byte-identical; a
+// result type that loses information in JSON is reported as an error
+// rather than silently producing tables that a resumed run could not
+// reproduce. With a nil key function FanoutKeyed degrades to plain
+// Fanout: cells run every time and are manifested by index only.
+func FanoutKeyed[S, R any](o Options, specs []S, key func(spec S) string, f func(i int, spec S) (R, error)) ([]R, error) {
 	out := make([]R, len(specs))
 	err := RunCells(o, len(specs), func(i int) error {
-		r, err := f(i, specs[i])
+		start := time.Now()
+		var k string
+		if key != nil {
+			k = o.cellKey(key(specs[i]))
+		}
+
+		// Resume path: replay the cached result for this config key.
+		if k != "" && o.Cache != nil {
+			if raw, digest, ok := o.Cache.Get(k); ok {
+				var r R
+				if err := json.Unmarshal(raw, &r); err == nil {
+					out[i] = r
+					o.recordCell(i, k, digest, true, start, r, nil)
+					return nil
+				}
+				// Undecodable entry (e.g. the result type changed):
+				// fall through and recompute; Put below overwrites it.
+			}
+		}
+
+		r, err := func() (r R, err error) {
+			// Recover here as well as in RunCells so the panic is
+			// attributed to this cell's key in the manifest; RunCells'
+			// own recover guards direct (un-keyed) callers.
+			defer func() {
+				if p := recover(); p != nil {
+					err = &CellPanicError{Cell: i, Value: p, Stack: string(debug.Stack())}
+				}
+			}()
+			return f(i, specs[i])
+		}()
 		if err != nil {
+			o.recordCell(i, k, "", false, start, r, err)
 			return err
 		}
+
+		digest := ""
+		if k != "" && (o.Cache != nil || o.Manifest != nil) {
+			raw, merr := json.Marshal(r)
+			if merr != nil {
+				return fmt.Errorf("cell %q: encoding result: %w", k, merr)
+			}
+			if o.Cache != nil {
+				// Byte-exact round-trip check: decode the encoding and
+				// re-encode. If information was lost, a resumed run
+				// would render different tables — fail loudly instead.
+				var rt R
+				if uerr := json.Unmarshal(raw, &rt); uerr != nil {
+					return fmt.Errorf("cell %q: result type %T does not decode from its own encoding: %w", k, r, uerr)
+				}
+				raw2, merr2 := json.Marshal(rt)
+				if merr2 != nil || !bytes.Equal(raw, raw2) {
+					return fmt.Errorf("cell %q: result type %T does not survive a JSON round trip; "+
+						"cached replays would diverge from fresh runs", k, r)
+				}
+				// Hand the decoded value to assembly so fresh-with-cache
+				// and resumed runs consume identical inputs.
+				r = rt
+				if digest, err = o.Cache.Put(k, raw); err != nil {
+					return fmt.Errorf("cell %q: caching result: %w", k, err)
+				}
+			} else {
+				digest = runlog.Digest(raw)
+			}
+		}
 		out[i] = r
+		o.recordCell(i, k, digest, false, start, r, nil)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// recordCell appends one cell record to the manifest, if attached.
+func (o Options) recordCell(i int, key, digest string, cached bool, start time.Time, result interface{}, err error) {
+	if o.Manifest == nil {
+		return
+	}
+	rec := runlog.CellRecord{
+		Exp:    o.Exp,
+		Cell:   i,
+		Key:    key,
+		Digest: digest,
+		Cached: cached,
+		WallMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if cs, ok := result.(cellStats); ok && err == nil {
+		simTime, ops := cs.CellStats()
+		rec.SimNS = simTime.Nanoseconds()
+		rec.Ops = ops
+	}
+	if err != nil {
+		rec.Error = err.Error()
+		if pe, ok := err.(*CellPanicError); ok {
+			rec.Panic = true
+			rec.Stack = pe.Stack
+		}
+	}
+	// Manifest write failures must not corrupt results; they surface
+	// when the run summary is written at Close.
+	_ = o.Manifest.Cell(rec)
 }

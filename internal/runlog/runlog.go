@@ -1,0 +1,382 @@
+// Package runlog gives long experiment runs a durable, structured
+// identity on disk. A run directory holds two JSON-lines files:
+//
+//	manifest.jsonl — one record per simulation cell (config key, wall
+//	                 time, ops, result digest, error/panic), one record
+//	                 per experiment, and a trailing run summary. This is
+//	                 the observability stream: it answers "what ran, how
+//	                 long did it take, what failed" without re-parsing
+//	                 rendered tables.
+//	cells.jsonl    — the content-keyed cell-result cache: one record per
+//	                 completed cell mapping its config key to the cell's
+//	                 JSON-encoded result. A later run pointed at the same
+//	                 directory (resume) replays these instead of
+//	                 re-simulating, so only missing, failed, or changed
+//	                 cells run again.
+//
+// Both files are append-only and tolerate a truncated final line, so a
+// run killed mid-write loses at most the cell that was being recorded.
+package runlog
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Record types stored in manifest.jsonl, discriminated by Type.
+const (
+	TypeCell = "cell" // one simulation cell
+	TypeExp  = "exp"  // one experiment (a group of cells)
+	TypeRun  = "run"  // trailing run summary
+)
+
+// CellRecord describes one completed (or failed) simulation cell.
+type CellRecord struct {
+	Type string `json:"type"`
+	// Exp is the experiment ID the cell belongs to (e.g. "F3").
+	Exp string `json:"exp"`
+	// Cell is the cell's index within its experiment.
+	Cell int `json:"cell"`
+	// Key is the cell's full config key — experiment ID, base options,
+	// and the per-cell configuration. Cells with equal keys compute the
+	// same result; the key is what the resume cache is addressed by.
+	Key string `json:"key,omitempty"`
+	// Digest is a short content hash of the JSON-encoded result.
+	Digest string `json:"digest,omitempty"`
+	// Cached marks a cell replayed from the resume cache.
+	Cached bool `json:"cached,omitempty"`
+	// WallMS is the wall-clock time the cell took, in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// SimNS is the simulated measurement window, when the cell's result
+	// reports one (nanoseconds of simulated time).
+	SimNS float64 `json:"sim_ns,omitempty"`
+	// Ops is the cell's completed-operation count, when reported.
+	Ops uint64 `json:"ops,omitempty"`
+	// Error is the cell's error text; Panic marks errors that were
+	// recovered panics, and Stack carries the panicking cell's stack.
+	Error string `json:"error,omitempty"`
+	Panic bool   `json:"panic,omitempty"`
+	Stack string `json:"stack,omitempty"`
+}
+
+// ExpRecord summarizes one experiment's cells.
+type ExpRecord struct {
+	Type   string  `json:"type"`
+	Exp    string  `json:"exp"`
+	Cells  int     `json:"cells"`
+	Cached int     `json:"cached"`
+	Failed int     `json:"failed"`
+	WallMS float64 `json:"wall_ms"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// RunRecord is the trailing run summary.
+type RunRecord struct {
+	Type        string  `json:"type"`
+	Experiments int     `json:"experiments"`
+	Failed      int     `json:"failed"`
+	Cells       int     `json:"cells"`
+	Cached      int     `json:"cached"`
+	FailedCells int     `json:"failed_cells"`
+	WallMS      float64 `json:"wall_ms"`
+	// Resumed marks manifests appended by a -resume invocation.
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// Digest returns the short content hash used for result digests: the
+// first 16 hex characters of SHA-256.
+func Digest(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Writer appends manifest records to <dir>/manifest.jsonl and keeps the
+// running totals for the trailing run summary. Methods are safe for
+// concurrent use by scheduler workers.
+type Writer struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	start   time.Time
+	resumed bool
+
+	exps, failedExps           int
+	cells, cached, failedCells int
+}
+
+const (
+	manifestFile = "manifest.jsonl"
+	cacheFile    = "cells.jsonl"
+)
+
+// Create starts a fresh run directory: it truncates any existing
+// manifest and cell cache so stale results cannot leak into a new run.
+func Create(dir string) (*Writer, error) {
+	return newWriter(dir, false)
+}
+
+// Append opens an existing run directory for a resumed run: manifest
+// records are appended and the cell cache is preserved.
+func Append(dir string) (*Writer, error) {
+	return newWriter(dir, true)
+}
+
+func newWriter(dir string, resume bool) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	mode := os.O_CREATE | os.O_WRONLY
+	if resume {
+		mode |= os.O_APPEND
+	} else {
+		mode |= os.O_TRUNC
+		// A fresh run invalidates the cache too: OpenCache on this
+		// directory must not see another run's cells.
+		if err := os.Remove(filepath.Join(dir, cacheFile)); err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(dir, manifestFile), mode, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{f: f, w: bufio.NewWriter(f), start: time.Now(), resumed: resume}, nil
+}
+
+func (w *Writer) emit(v interface{}) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := w.w.Write(b); err != nil {
+		return err
+	}
+	// Flush per record: a killed run keeps everything recorded so far.
+	return w.w.Flush()
+}
+
+// Cell records one completed or failed cell.
+func (w *Writer) Cell(r CellRecord) error {
+	r.Type = TypeCell
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.cells++
+	if r.Cached {
+		w.cached++
+	}
+	if r.Error != "" {
+		w.failedCells++
+	}
+	return w.emit(r)
+}
+
+// Totals returns the cell counters accumulated so far: total cells,
+// cache-replayed cells, and failed cells. Drivers diff snapshots taken
+// around an experiment to fill its ExpRecord.
+func (w *Writer) Totals() (cells, cached, failed int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cells, w.cached, w.failedCells
+}
+
+// Exp records one experiment's summary.
+func (w *Writer) Exp(r ExpRecord) error {
+	r.Type = TypeExp
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.exps++
+	if r.Error != "" {
+		w.failedExps++
+	}
+	return w.emit(r)
+}
+
+// Close writes the trailing run summary and closes the manifest.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.emit(RunRecord{
+		Type:        TypeRun,
+		Experiments: w.exps,
+		Failed:      w.failedExps,
+		Cells:       w.cells,
+		Cached:      w.cached,
+		FailedCells: w.failedCells,
+		WallMS:      float64(time.Since(w.start)) / float64(time.Millisecond),
+		Resumed:     w.resumed,
+	})
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// cacheEntry is one line of cells.jsonl.
+type cacheEntry struct {
+	Key    string          `json:"key"`
+	Digest string          `json:"digest"`
+	Value  json.RawMessage `json:"value"`
+}
+
+// Cache is the content-keyed cell-result cache. Get and Put are safe
+// for concurrent use. Entries live in memory and are appended to
+// <dir>/cells.jsonl as they are stored; the newest entry for a key
+// wins on load.
+type Cache struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	entries map[string]cacheEntry
+	loaded  int
+}
+
+// OpenCache loads any existing cell cache in dir and opens it for
+// appending. A truncated final line (killed run) is skipped; malformed
+// interior lines are an error.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, cacheFile)
+	entries := map[string]cacheEntry{}
+	if b, err := os.ReadFile(path); err == nil {
+		lines := splitLines(b)
+		for i, line := range lines {
+			if len(line) == 0 {
+				continue
+			}
+			var e cacheEntry
+			if err := json.Unmarshal(line, &e); err != nil {
+				if i == len(lines)-1 {
+					break // torn final write from a killed run
+				}
+				return nil, fmt.Errorf("runlog: %s line %d: %w", cacheFile, i+1, err)
+			}
+			entries[e.Key] = e
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{f: f, w: bufio.NewWriter(f), entries: entries, loaded: len(entries)}, nil
+}
+
+// Get returns the cached result and digest for key, if present.
+func (c *Cache) Get(key string) (json.RawMessage, string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return e.Value, e.Digest, ok
+}
+
+// Put stores a cell result under key and returns its digest.
+func (c *Cache) Put(key string, value json.RawMessage) (string, error) {
+	e := cacheEntry{Key: key, Digest: Digest(value), Value: value}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return "", err
+	}
+	b = append(b, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = e
+	if _, err := c.w.Write(b); err != nil {
+		return "", err
+	}
+	return e.Digest, c.w.Flush()
+}
+
+// Len returns the number of cached cells; Loaded returns how many of
+// them were read from disk at open time.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Loaded returns the number of entries read from disk when the cache
+// was opened (before this run added any).
+func (c *Cache) Loaded() int { return c.loaded }
+
+// Close flushes and closes the cache's append log.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.w.Flush()
+	if cerr := c.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func splitLines(b []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i, c := range b {
+		if c == '\n' {
+			out = append(out, b[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(b) {
+		out = append(out, b[start:])
+	}
+	return out
+}
+
+// Validate parses a run directory's manifest and cell cache and returns
+// a summary line, or an error describing the first malformed record. It
+// is the check behind `atomicsim -checkmanifest`.
+func Validate(dir string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return "", err
+	}
+	var cells, exps, runs, failed int
+	for i, line := range splitLines(b) {
+		if len(line) == 0 {
+			continue
+		}
+		var rec struct {
+			Type  string `json:"type"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return "", fmt.Errorf("runlog: %s line %d: %w", manifestFile, i+1, err)
+		}
+		switch rec.Type {
+		case TypeCell:
+			cells++
+			if rec.Error != "" {
+				failed++
+			}
+		case TypeExp:
+			exps++
+		case TypeRun:
+			runs++
+		default:
+			return "", fmt.Errorf("runlog: %s line %d: unknown record type %q", manifestFile, i+1, rec.Type)
+		}
+	}
+	if runs == 0 {
+		return "", fmt.Errorf("runlog: %s has no run summary (run did not complete)", manifestFile)
+	}
+	c, err := OpenCache(dir)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	return fmt.Sprintf("manifest ok: %d experiments, %d cells (%d failed), %d run summaries; cache: %d cells",
+		exps, cells, failed, runs, c.Len()), nil
+}

@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"atomicsmodel/internal/sim"
+)
+
+// Histogram JSON encoding for the harness's cell-result cache: the
+// bucket array is stored sparsely (bucket index -> count) and every
+// field is integral, so a marshal/unmarshal round trip reproduces the
+// histogram exactly — quantiles, mean, and extrema included. The empty
+// histogram's min sentinel round-trips as-is.
+
+type histogramJSON struct {
+	N       uint64         `json:"n"`
+	Sum     sim.Time       `json:"sum"`
+	Min     sim.Time       `json:"min"`
+	Max     sim.Time       `json:"max"`
+	Buckets map[int]uint64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON encodes the histogram with sparse buckets.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	enc := histogramJSON{N: h.n, Sum: h.sum, Min: h.min, Max: h.max}
+	for b, c := range h.counts {
+		if c != 0 {
+			if enc.Buckets == nil {
+				enc.Buckets = make(map[int]uint64)
+			}
+			enc.Buckets[b] = c
+		}
+	}
+	return json.Marshal(enc)
+}
+
+// UnmarshalJSON reconstructs a histogram encoded by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var dec histogramJSON
+	if err := json.Unmarshal(b, &dec); err != nil {
+		return err
+	}
+	h.counts = make([]uint64, maxBuckets)
+	var total uint64
+	for bi, c := range dec.Buckets {
+		if bi < 0 || bi >= maxBuckets {
+			return fmt.Errorf("stats: histogram bucket %d out of range", bi)
+		}
+		h.counts[bi] = c
+		total += c
+	}
+	if total != dec.N {
+		return fmt.Errorf("stats: histogram bucket counts sum to %d, n = %d", total, dec.N)
+	}
+	h.n = dec.N
+	h.sum = dec.Sum
+	h.min = dec.Min
+	h.max = dec.Max
+	return nil
+}

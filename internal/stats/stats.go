@@ -104,7 +104,12 @@ func (h *Histogram) Min() sim.Time {
 func (h *Histogram) Max() sim.Time { return h.max }
 
 // Quantile returns an approximation of the q-quantile (0 <= q <= 1),
-// accurate to the bucket width (~9%).
+// accurate to the bucket width (~9%). It uses the nearest-rank (ceil)
+// convention: the bucket of the smallest observation v such that at
+// least ceil(q*n) observations are <= v. With this convention p50 of
+// two observations is the first one, and p100 coincides with the
+// maximum — the old floor-based rank was off by one whenever q*n was
+// integral (p50 of n=2 returned the second observation's bucket).
 func (h *Histogram) Quantile(q float64) sim.Time {
 	if h.n == 0 {
 		return 0
@@ -115,11 +120,18 @@ func (h *Histogram) Quantile(q float64) sim.Time {
 	if q >= 1 {
 		return h.max
 	}
-	target := uint64(q * float64(h.n))
+	// The tiny relative backoff keeps ranks that are mathematically
+	// integral (0.9*10 = 9) from being inflated by floating-point
+	// representation error (0.9*10 = 9.0000000000000018 in binary).
+	r := q * float64(h.n)
+	rank := uint64(math.Ceil(r - r*1e-12))
+	if rank < 1 {
+		rank = 1
+	}
 	var cum uint64
 	for b, c := range h.counts {
 		cum += c
-		if cum > target {
+		if cum >= rank {
 			lo := bucketLow(b)
 			if lo < h.min {
 				lo = h.min

@@ -122,9 +122,13 @@ func (c *Config) fillDefaults() error {
 	return nil
 }
 
-// Result reports one run's measurements.
+// Result reports one run's measurements. Everything the harness
+// renders from a Result survives a JSON round trip byte-exactly — the
+// experiment resume cache depends on it. Config is deliberately
+// excluded (it holds the machine and interface-typed knobs); table
+// assembly must not read it back out of a Result.
 type Result struct {
-	Config Config
+	Config Config `json:"-"`
 	// Ops counts successful operations completed in the measured
 	// window (failed CAS attempts are not ops).
 	Ops uint64
@@ -149,6 +153,12 @@ type Result struct {
 	Energy energy.Report
 	// Coh is the coherence counter delta for the measured window.
 	Coh coherence.Stats
+}
+
+// CellStats reports the simulated window and op count for run
+// manifests (harness cell records).
+func (r *Result) CellStats() (sim.Time, uint64) {
+	return r.MeasuredFor, r.Ops
 }
 
 // SuccessRate returns Ops/Attempts (1 when there were no attempts).

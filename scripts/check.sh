@@ -1,13 +1,40 @@
 #!/bin/sh
-# Repo checks: static analysis plus a race-detector pass over the two
-# packages with real concurrency (the cell scheduler) and the hottest
-# pooled data structures (the coherence layer). Run from the repo root.
+# Repo checks: build, static analysis, the full test suite, a
+# race-detector pass over the packages with real concurrency (the cell
+# scheduler, the run log it writes through, and the hottest pooled data
+# structures in the coherence layer), and a smoke run of the atomicsim
+# CLI that exercises the manifest/resume path end to end. Run from the
+# repo root.
 set -eu
+
+echo "== go build ./..."
+go build ./...
 
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race ./internal/harness ./internal/coherence"
-go test -race ./internal/harness ./internal/coherence
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./internal/harness ./internal/coherence ./internal/runlog"
+go test -race ./internal/harness ./internal/coherence ./internal/runlog
+
+echo "== atomicsim -manifest smoke run"
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+go run ./cmd/atomicsim -quick -quiet -exp F3 -machine XeonE5 \
+    -manifest "$dir/run" > "$dir/fresh.txt"
+go run ./cmd/atomicsim -quick -quiet -exp F3 -machine XeonE5 \
+    -resume "$dir/run" > "$dir/resumed.txt" 2> "$dir/resume.log"
+cmp "$dir/fresh.txt" "$dir/resumed.txt" || {
+    echo "resumed tables differ from fresh run" >&2
+    exit 1
+}
+go run ./cmd/atomicsim -checkmanifest "$dir/run"
+# The manifest must contain cell records and a run summary, and the
+# resumed run must have replayed at least one cell from the cache.
+grep -q '"type":"cell"' "$dir/run/manifest.jsonl"
+grep -q '"type":"run"' "$dir/run/manifest.jsonl"
+grep -q '"cached":true' "$dir/run/manifest.jsonl"
 
 echo "ok"
