@@ -39,6 +39,7 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "base random seed")
 		par     = flag.Int("par", runtime.NumCPU(), "max concurrent simulation cells (results are identical for any value)")
 		quiet   = flag.Bool("quiet", false, "suppress per-experiment progress on stderr")
+		withMet = flag.Bool("metrics", false, "collect per-cell coherence/sim metrics and append breakdown tables")
 		csvDir  = flag.String("csv", "", "directory to write per-table CSV files into")
 		doPlot  = flag.Bool("plot", false, "render ASCII charts for figure-shaped tables")
 		logY    = flag.Bool("logy", false, "use a logarithmic Y axis for plots")
@@ -81,6 +82,9 @@ func main() {
 	}
 
 	opts := harness.Options{Quick: *quick, Seed: *seed, Par: *par}
+	if *withMet {
+		opts.Metrics = &harness.MetricsCollector{}
+	}
 	switch {
 	case *manifestDir != "" && *resumeDir != "":
 		fatal(errors.New("-manifest and -resume are mutually exclusive (resume reuses the run directory)"))
@@ -170,6 +174,22 @@ func main() {
 	if !*quiet && len(exps) > 1 {
 		fmt.Fprintf(os.Stderr, "suite done: %d experiments in %s\n",
 			len(exps), time.Since(suiteStart).Round(time.Millisecond))
+	}
+
+	// Metrics breakdown tables render after the result tables so the
+	// result output stays byte-identical to a metrics-off run's prefix.
+	if opts.Metrics != nil {
+		for i, t := range opts.Metrics.Tables() {
+			if err := t.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, "metrics", i, t); err != nil {
+					fatal(err)
+				}
+			}
+		}
 	}
 
 	if opts.Cache != nil {

@@ -2,13 +2,18 @@
 // line during a contended run and dumps it as CSV — one row per access
 // with its timestamp, core, transaction kind, data source, hop count
 // and latency — plus a bouncing summary and per-core ownership shares
-// on stderr. Feed the CSV to any plotting tool to watch the line move.
+// on stderr. Feed the CSV to any plotting tool to watch the line move,
+// or export a Chrome trace_event timeline with -chrome and open it in
+// chrome://tracing or https://ui.perfetto.dev: one row per core, one
+// slice per access, and an "owner" counter track stepping through the
+// ownership transfers.
 //
 // Usage:
 //
 //	atomictrace -machine XeonE5 -primitive FAA -threads 8 -ops 200
 //	atomictrace -machine KNL -primitive CAS -threads 16 -ops 500 > trace.csv
 //	atomictrace -arbiter locality -threads 16          # watch a monopoly form
+//	atomictrace -threads 8 -chrome trace.json          # timeline for Perfetto
 package main
 
 import (
@@ -30,6 +35,7 @@ func main() {
 		threads  = flag.Int("threads", 8, "number of contending threads")
 		ops      = flag.Int("ops", 200, "operations per thread to trace")
 		arbName  = flag.String("arbiter", "fifo", "line arbitration: fifo, random, locality")
+		chrome   = flag.String("chrome", "", "also write a Chrome trace_event JSON timeline to this file (view in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -84,6 +90,21 @@ func main() {
 
 	if err := rec.WriteCSV(os.Stdout); err != nil {
 		fatal(err)
+	}
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *chrome)
 	}
 
 	s := rec.Summarize()

@@ -6,6 +6,13 @@
 // that the model's primitive-level predictions (FAA beats CAS under
 // contention; TTAS spins locally while TAS storms the line; tickets are
 // FIFO-fair) carry over to algorithm-level throughput and fairness.
+//
+// In the model pipeline (ARCHITECTURE.md) this package is a sibling of
+// internal/workload: both drive internal/atomics on the simulated
+// coherence substrate and feed results to the harness. MODEL.md §6
+// (algorithms as access multisets) is the analytical counterpart of
+// running these apps; Run accepts the same Metrics switch as
+// workload.Config for per-cell observability.
 package apps
 
 import (

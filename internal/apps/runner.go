@@ -6,6 +6,7 @@ import (
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/coherence"
 	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/metrics"
 	"atomicsmodel/internal/sim"
 	"atomicsmodel/internal/stats"
 )
@@ -23,6 +24,10 @@ type RunConfig struct {
 	Warmup   sim.Time
 	Duration sim.Time
 	Seed     uint64
+	// Metrics enables the per-cell observability registry (see
+	// internal/metrics and workload.Config.Metrics); the snapshot lands
+	// in RunResult.Metrics.
+	Metrics bool
 }
 
 // RunResult reports an application benchmark's measurements.
@@ -42,7 +47,14 @@ type RunResult struct {
 	// TotalOps counts operations completed over the whole run
 	// including warmup, for invariant checks against app state.
 	TotalOps uint64
+	// Metrics is the per-cell metrics snapshot over the measured window
+	// (nil unless RunConfig.Metrics was set).
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
+
+// MetricsSnapshot exposes the cell's metrics snapshot to the harness
+// (nil when metrics were off).
+func (r *RunResult) MetricsSnapshot() *metrics.Snapshot { return r.Metrics }
 
 // CellStats reports the op count for harness run manifests. Apps do
 // not carry their measured window in the result, so only ops are
@@ -78,6 +90,12 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		return nil, err
 	}
 	app := cfg.Build(eng, mem)
+	var reg *metrics.Registry
+	if cfg.Metrics {
+		reg = metrics.New()
+	}
+	mem.System().InstallMetrics(reg) // nil registry = off
+	mThreadOps := reg.Vector(metrics.WorkThreadOps, cfg.Threads)
 
 	end := cfg.Warmup + cfg.Duration
 	measuring := false
@@ -97,6 +115,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			if measuring && eng.Now() <= end {
 				ops++
 				perOps[th.ID]++
+				mThreadOps.Inc(th.ID)
 				lat.Record(eng.Now() - start)
 			}
 			loop(th)
@@ -106,13 +125,18 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		th := &Thread{ID: i, Core: cfg.Machine.CoreOf(slots[i]), RNG: root.Split()}
 		eng.Schedule(th.RNG.Duration(10*sim.Nanosecond), func() { loop(th) })
 	}
-	eng.At(cfg.Warmup, func() { measuring = true })
+	var procAtMeasure uint64
+	eng.At(cfg.Warmup, func() {
+		measuring = true
+		procAtMeasure = eng.Processed()
+		reg.Reset()
+	})
 	eng.Run(end)
 
 	if err := mem.System().CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("apps: coherence invariant violated: %w", err)
 	}
-	return &RunResult{
+	res := &RunResult{
 		App:            app.Name(),
 		Threads:        cfg.Threads,
 		Ops:            ops,
@@ -123,5 +147,11 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		MinMax:         stats.MinMaxRatio(perOps),
 		Mem:            mem,
 		TotalOps:       totalOps,
-	}, nil
+	}
+	if reg != nil {
+		reg.Counter(metrics.SimEvents).Add(eng.Processed() - procAtMeasure)
+		reg.Counter(metrics.SimQueuePeak).Add(uint64(eng.MaxPending()))
+		res.Metrics = reg.Snapshot()
+	}
+	return res, nil
 }

@@ -6,6 +6,12 @@
 // locked instructions always take the line exclusive, even a CAS that
 // will fail) plus a machine-specific execution occupancy charged while
 // the line is held.
+//
+// In the model pipeline (ARCHITECTURE.md) this package is the bridge
+// between the benchmark drivers (internal/workload, internal/apps) and
+// the coherence substrate: Memory.Do turns a primitive into a line
+// transaction, and ExecCost exposes the per-primitive occupancy e_p
+// that MODEL.md §1 adds to every transfer cost.
 package atomics
 
 import (

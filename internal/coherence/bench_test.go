@@ -8,8 +8,9 @@ import (
 )
 
 // benchSystem is a 16-core dual-ring system shaped like the Xeon preset:
-// the configuration the contended experiments spend their time in.
-func benchSystem(b *testing.B) (*sim.Engine, *System) {
+// the configuration the contended experiments spend their time in. It
+// accepts testing.TB so the allocation-regression tests share it.
+func benchSystem(b testing.TB) (*sim.Engine, *System) {
 	b.Helper()
 	eng := sim.NewEngine()
 	p := Params{

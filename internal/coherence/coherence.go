@@ -14,11 +14,22 @@
 // a locked instruction holds the line). Which queued request is served
 // next is decided by a pluggable Arbiter — the source of the fairness
 // differences the paper studies.
+//
+// In the model pipeline (ARCHITECTURE.md), this package sits between
+// the machine descriptions (internal/machine supplies Params;
+// internal/topology supplies hop counts) and the primitive semantics
+// (internal/atomics drives Access). serviceCost implements the same
+// per-state transfer table MODEL.md §1 states and §2 takes
+// expectations over — F7 holds simulator and model against each
+// other. Optional per-event instrumentation hooks into
+// internal/metrics via InstallMetrics; with no registry installed the
+// handles are nil and the access path is unchanged.
 package coherence
 
 import (
 	"fmt"
 
+	"atomicsmodel/internal/metrics"
 	"atomicsmodel/internal/sim"
 	"atomicsmodel/internal/topology"
 )
@@ -262,6 +273,16 @@ type System struct {
 	totalHops   uint64
 	nCrossSock  uint64
 	maxQueueLen int
+
+	// Optional per-event metrics (see internal/metrics). All handles are
+	// nil until InstallMetrics; nil handles make every increment below a
+	// single-branch no-op, which is the "instrumented-off" fast path the
+	// bench suite holds at 0 allocs/op.
+	mTransfer     [4]*metrics.Counter // indexed by Source
+	mInval        *metrics.Counter
+	mCross        *metrics.Counter
+	mQueueDepth   *metrics.Histogram
+	mQueuedBehind *metrics.Histogram
 }
 
 // NewSystem builds a memory system. arb may be nil, which means FIFO.
@@ -350,6 +371,22 @@ func (s *System) pathCost(proc sim.Time, nodes [4]int, n int) (total sim.Time, h
 // SetTracer installs a per-access callback (e.g. the energy meter).
 func (s *System) SetTracer(fn func(TraceEvent)) { s.tracer = fn }
 
+// InstallMetrics registers the coherence layer's instruments on r and
+// starts feeding them: line transfers by source, invalidations,
+// cross-socket transfers, and the directory queueing histograms. A nil
+// registry (the default state) keeps every handle nil and the layer
+// off; see internal/metrics for the naming scheme.
+func (s *System) InstallMetrics(r *metrics.Registry) {
+	s.mTransfer[SrcLocal] = r.Counter(metrics.CohTransferLocal)
+	s.mTransfer[SrcRemoteCache] = r.Counter(metrics.CohTransferRemote)
+	s.mTransfer[SrcLLC] = r.Counter(metrics.CohTransferLLC)
+	s.mTransfer[SrcDRAM] = r.Counter(metrics.CohTransferDRAM)
+	s.mInval = r.Counter(metrics.CohInvalidations)
+	s.mCross = r.Counter(metrics.CohCrossSocket)
+	s.mQueueDepth = r.Histogram(metrics.CohQueueDepth)
+	s.mQueuedBehind = r.Histogram(metrics.CohQueuedBehind)
+}
+
 // Engine returns the simulation engine the system schedules on.
 func (s *System) Engine() *sim.Engine { return s.eng }
 
@@ -413,6 +450,7 @@ func (s *System) Access(core int, id LineID, kind Kind, hold sim.Time, apply App
 	if kind == Read && (l.owner == core || l.sharers.has(core)) {
 		s.nAccesses++
 		s.nLocal++
+		s.mTransfer[SrcLocal].Inc()
 		req := s.getReq()
 		req.core, req.kind, req.done, req.line = core, kind, done, l
 		req.res = AccessResult{Latency: s.p.L1Hit, Value: l.value, Source: SrcLocal}
@@ -462,12 +500,14 @@ func (s *System) Access(core int, id LineID, kind Kind, hold sim.Time, apply App
 		}
 		l.sharers.add(core)
 		s.nAccesses++
+		s.mTransfer[res.Source].Inc()
 		if res.Source == SrcLLC {
 			s.nLLC++
 		} else {
 			s.nRemote++
 			if res.CrossSocket {
 				s.nCrossSock++
+				s.mCross.Inc()
 			}
 		}
 		s.totalHops += uint64(res.Hops)
@@ -487,6 +527,7 @@ func (s *System) Access(core int, id LineID, kind Kind, hold sim.Time, apply App
 	if len(l.queue) > s.maxQueueLen {
 		s.maxQueueLen = len(l.queue)
 	}
+	s.mQueueDepth.Observe(uint64(len(l.queue)))
 	if !l.busy {
 		s.serveNext(l)
 	}
@@ -544,6 +585,7 @@ func (s *System) completeService(req *request) {
 	res := req.res
 	res.Latency = s.eng.Now() - req.issued
 	res.QueuedBehind = req.skipped
+	s.mQueuedBehind.Observe(uint64(req.skipped))
 	res.Value = l.value
 	if req.apply != nil {
 		if next, write := req.apply(l.value); write {
@@ -585,6 +627,7 @@ func (s *System) serviceCost(l *lineState, req *request) (sim.Time, AccessResult
 		res.Source = SrcLocal
 		s.nLocal++
 		s.nAccesses++
+		s.mTransfer[SrcLocal].Inc()
 		return s.p.L1Hit, res
 
 	case req.kind == Read && l.sharers.has(c):
@@ -592,6 +635,7 @@ func (s *System) serviceCost(l *lineState, req *request) (sim.Time, AccessResult
 		res.Source = SrcLocal
 		s.nLocal++
 		s.nAccesses++
+		s.mTransfer[SrcLocal].Inc()
 		return s.p.L1Hit, res
 
 	case l.owner >= 0:
@@ -603,12 +647,14 @@ func (s *System) serviceCost(l *lineState, req *request) (sim.Time, AccessResult
 		if cross {
 			cost += s.p.CrossSocketPenalty
 			s.nCrossSock++
+			s.mCross.Inc()
 		}
 		res.Source = SrcRemoteCache
 		res.Hops = hops
 		res.CrossSocket = cross
 		s.nRemote++
 		s.nAccesses++
+		s.mTransfer[SrcRemoteCache].Inc()
 		s.totalHops += uint64(hops)
 		return cost, res
 
@@ -625,12 +671,14 @@ func (s *System) serviceCost(l *lineState, req *request) (sim.Time, AccessResult
 			if others > 0 {
 				cost += s.p.InvalidateCost
 				s.nInvals++
+				s.mInval.Inc()
 			}
 		}
 		res.Source = SrcLLC
 		res.Hops = hops
 		s.nLLC++
 		s.nAccesses++
+		s.mTransfer[SrcLLC].Inc()
 		s.totalHops += uint64(hops)
 		return cost, res
 
@@ -641,6 +689,7 @@ func (s *System) serviceCost(l *lineState, req *request) (sim.Time, AccessResult
 		res.Hops = hops
 		s.nDRAM++
 		s.nAccesses++
+		s.mTransfer[SrcDRAM].Inc()
 		s.totalHops += uint64(hops)
 		return cost, res
 	}

@@ -24,6 +24,14 @@
 // constants (local, same-socket transfer, cross-socket transfer) and
 // still captures the behaviour — Calibrate obtains those constants from
 // three probe runs, mirroring how the paper fits its model.
+//
+// MODEL.md states every equation this package implements, in the same
+// order; ARCHITECTURE.md carries the equation-to-symbol index (§1 →
+// LowLatency, §2 → ServiceTime/PredictHigh, §3 → CASSuccessRateFIFO/
+// Random, §4 → PredictHighArb, §6 → PredictAlgorithm, §7 →
+// NewSimple/Calibrate). In the pipeline this package is a consumer of
+// machine descriptions only — it never touches the simulator, which is
+// what makes F7's model-vs-simulation comparison meaningful.
 package core
 
 import (

@@ -5,6 +5,12 @@
 // integrated over the run for every active core and thread. Absolute
 // joules are synthetic; the reproduced quantity is the *shape* of
 // energy-per-operation versus thread count and contention level.
+//
+// In the model pipeline (ARCHITECTURE.md) the meter is an observer:
+// it subscribes to coherence trace events the same way internal/trace
+// does, and internal/workload resets it at the warmup boundary so the
+// reading covers the measured window. MODEL.md §5 states the
+// analytical counterpart the F6 experiment compares against.
 package energy
 
 import (

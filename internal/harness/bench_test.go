@@ -13,6 +13,18 @@ import (
 // parallel scheduler fans out — at quick-run length: a 16-thread
 // high-contention FAA sweep point on the Xeon.
 func BenchmarkFullCell(b *testing.B) {
+	benchFullCell(b, false)
+}
+
+// BenchmarkFullCellMetrics is the same cell with the observability
+// registry live (Config.Metrics set): registry setup, per-event counts,
+// and the end-of-run snapshot. The delta against BenchmarkFullCell is
+// the whole-cell cost of -metrics.
+func BenchmarkFullCellMetrics(b *testing.B) {
+	benchFullCell(b, true)
+}
+
+func benchFullCell(b *testing.B, withMetrics bool) {
 	m := machine.XeonE5()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -21,7 +33,8 @@ func BenchmarkFullCell(b *testing.B) {
 			Machine: m, Threads: 16, Primitive: atomics.FAA,
 			Mode:   workload.HighContention,
 			Warmup: 10 * sim.Microsecond, Duration: 100 * sim.Microsecond,
-			Seed: 1,
+			Seed:    1,
+			Metrics: withMetrics,
 		})
 		if err != nil {
 			b.Fatal(err)

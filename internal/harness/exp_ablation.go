@@ -71,6 +71,7 @@ func runF13(o Options) ([]*Table, error) {
 			Machine: s.m, Threads: s.n, Primitive: atomics.FAA,
 			Mode: workload.HighContention, Arbiter: arbs[s.arb].mk(o.Seed),
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+			Metrics: o.MetricsOn(),
 		})
 	})
 	if err != nil {
@@ -156,6 +157,7 @@ func runF14(o Options) ([]*Table, error) {
 			Machine: s.m, Threads: 16, Primitive: atomics.FAA,
 			Mode: workload.ReadWriteMix, ReadFraction: s.rf,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+			Metrics: o.MetricsOn(),
 		})
 	})
 	if err != nil {
@@ -178,6 +180,7 @@ func runF14(o Options) ([]*Table, error) {
 		return workload.Run(workload.Config{
 			Machine: m, Threads: 16, Primitive: atomics.FAA, Mode: workload.HighContention,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+			Metrics: o.MetricsOn(),
 		})
 	})
 	if err != nil {
@@ -284,6 +287,7 @@ func runF15(o Options) ([]*Table, error) {
 				return apps.NewStripedCounter(mem, s.stripes, s.reads)
 			},
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+			Metrics: o.MetricsOn(),
 		})
 	})
 	if err != nil {

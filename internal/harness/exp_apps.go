@@ -53,6 +53,7 @@ func runF9(o Options) ([]*Table, error) {
 		return apps.Run(apps.RunConfig{
 			Machine: s.m, Threads: s.n, Build: build,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+			Metrics: o.MetricsOn(),
 		})
 	})
 	if err != nil {
@@ -141,6 +142,7 @@ func runF10(o Options) ([]*Table, error) {
 		return apps.Run(apps.RunConfig{
 			Machine: s.m, Threads: s.n, Build: buildersFor(s.m)[s.b].mk,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+			Metrics: o.MetricsOn(),
 		})
 	})
 	if err != nil {

@@ -60,12 +60,14 @@ func runF5(o Options) ([]*Table, error) {
 				Machine: s.m, Threads: s.n, Primitive: atomics.CAS,
 				Mode:   workload.HighContention,
 				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+				Metrics: o.MetricsOn(),
 			})
 		}
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: atomics.FAA,
 			Mode: workload.HighContention, Arbiter: arbs[s.arb].mk(o.Seed + uint64(s.n)),
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+			Metrics: o.MetricsOn(),
 		})
 	})
 	if err != nil {

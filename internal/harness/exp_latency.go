@@ -103,6 +103,7 @@ func runF2(o Options) ([]*Table, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: s.p, Mode: workload.HighContention,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+			Metrics: o.MetricsOn(),
 		})
 	})
 	if err != nil {

@@ -65,6 +65,7 @@ func runF19(o Options) ([]*Table, error) {
 			Mode:     workload.HighContention,
 			OpenLoop: true, OpenLoopInterarrival: inter,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+			Metrics: o.MetricsOn(),
 		})
 	})
 	if err != nil {

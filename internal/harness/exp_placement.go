@@ -64,6 +64,7 @@ func runF11(o Options) ([]*Table, error) {
 			Machine: s.m, Threads: s.n, Primitive: atomics.FAA,
 			Mode: workload.HighContention, Placement: s.p,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+			Metrics: o.MetricsOn(),
 		})
 	})
 	if err != nil {

@@ -69,6 +69,7 @@ func runF20(o Options) ([]*Table, error) {
 		res, err := apps.Run(apps.RunConfig{
 			Machine: s.m, Threads: threads, Build: build,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+			Metrics: o.MetricsOn(),
 		})
 		if err != nil {
 			return cell{}, err

@@ -50,6 +50,7 @@ func runF17(o Options) ([]*Table, error) {
 			Machine: machine.XeonMultiSocket(s.sockets), Threads: s.n, Primitive: atomics.FAA,
 			Mode: workload.HighContention, Placement: machine.Scatter{},
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+			Metrics: o.MetricsOn(),
 		})
 	})
 	if err != nil {

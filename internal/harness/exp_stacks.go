@@ -70,6 +70,7 @@ func runF18(o Options) ([]*Table, error) {
 		res, err := apps.Run(apps.RunConfig{
 			Machine: s.m, Threads: s.n, Build: build,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+			Metrics: o.MetricsOn(),
 		})
 		if err != nil {
 			return cell{}, err

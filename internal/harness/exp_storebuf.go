@@ -88,6 +88,7 @@ func storeWorkload(m *machine.Machine, o Options) (latNs, mops float64, err erro
 		Machine: m, Threads: 16, Primitive: atomics.Store,
 		Mode:   workload.HighContention,
 		Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+		Metrics: o.MetricsOn(),
 	})
 	if err != nil {
 		return 0, 0, err

@@ -49,6 +49,7 @@ func runF21(o Options) ([]*Table, error) {
 			Machine: s.m, Threads: threads, Primitive: atomics.FAA,
 			Mode: workload.HighContention, Arbiter: arbs[s.arb].mk(o.Seed),
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+			Metrics: o.MetricsOn(),
 		})
 	})
 	if err != nil {

@@ -59,6 +59,7 @@ func runF3(o Options) ([]*Table, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: s.p, Mode: workload.HighContention,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+			Metrics: o.MetricsOn(),
 		})
 	})
 	if err != nil {
@@ -105,6 +106,7 @@ func runF4(o Options) ([]*Table, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: atomics.CAS, Mode: workload.HighContention,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
+			Metrics: o.MetricsOn(),
 		})
 	})
 	if err != nil {
@@ -170,6 +172,7 @@ func runF8(o Options) ([]*Table, error) {
 			Machine: s.m, Threads: threads, Primitive: atomics.FAA,
 			Mode: workload.HighContention, LocalWork: s.w,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+			Metrics: o.MetricsOn(),
 		})
 	})
 	if err != nil {
@@ -225,6 +228,7 @@ func runF12(o Options) ([]*Table, error) {
 			Machine: s.m, Threads: threads, Primitive: atomics.FAA,
 			Mode: workload.ReadWriteMix, ReadFraction: s.rf,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
+			Metrics: o.MetricsOn(),
 		})
 	})
 	if err != nil {

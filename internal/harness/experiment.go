@@ -40,13 +40,32 @@ type Options struct {
 	// of the cache by construction — cached results must round-trip
 	// through JSON byte-exactly, which FanoutKeyed enforces.
 	Cache *runlog.Cache
+	// Metrics, when non-nil, enables the per-cell observability
+	// registries (internal/metrics): runners set Config.Metrics on their
+	// workloads, and every completed cell's snapshot — fresh or replayed
+	// from the cache — is delivered here. Enabling metrics tags cell
+	// cache keys, so metrics-on and metrics-off runs never share cache
+	// entries; with Metrics nil the simulation hot path takes the
+	// nil-registry fast path and output is byte-identical to builds
+	// without the observability layer.
+	Metrics *MetricsCollector
 }
+
+// MetricsOn reports whether cell metrics collection is enabled; runners
+// forward it into workload.Config.Metrics / apps.RunConfig.Metrics.
+func (o Options) MetricsOn() bool { return o.Metrics != nil }
 
 // cellKey turns a runner-local cell key into the cache's full config
 // key: experiment ID plus every base option that changes results (the
 // seed and the Quick sweep trimming; Par never affects results). The
 // per-cell part must itself name the machine and every swept knob.
+// Metrics collection joins the key only when enabled so existing
+// metrics-off caches stay valid and a metrics-on resume never replays a
+// snapshot-less result.
 func (o Options) cellKey(k string) string {
+	if o.Metrics != nil {
+		return fmt.Sprintf("%s|seed=%d|quick=%v|metrics=on|%s", o.Exp, o.Seed, o.Quick, k)
+	}
 	return fmt.Sprintf("%s|seed=%d|quick=%v|%s", o.Exp, o.Seed, o.Quick, k)
 }
 

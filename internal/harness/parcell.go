@@ -251,8 +251,25 @@ func FanoutKeyed[S, R any](o Options, specs []S, key func(spec S) string, f func
 	return out, nil
 }
 
-// recordCell appends one cell record to the manifest, if attached.
+// recordCell delivers one completed cell to the observability sinks:
+// its metrics snapshot to the collector (if metrics are enabled and the
+// result carries one) and a structured record to the manifest (if
+// attached). Cached replays pass through here too, so a resumed run
+// collects exactly the snapshots a fresh run would.
 func (o Options) recordCell(i int, key, digest string, cached bool, start time.Time, result interface{}, err error) {
+	if o.Metrics != nil && err == nil {
+		if mp, ok := result.(cellMetricsProvider); ok {
+			if snap := mp.MetricsSnapshot(); snap != nil {
+				o.Metrics.record(CellMetrics{
+					Exp:   o.Exp,
+					Cell:  i,
+					Key:   key,
+					Label: o.metricsLabel(key),
+					Snap:  snap,
+				})
+			}
+		}
+	}
 	if o.Manifest == nil {
 		return
 	}

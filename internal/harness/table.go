@@ -3,6 +3,15 @@
 // as aligned text tables or CSV. Each experiment is registered under a
 // stable ID (T1, F1..F12, T2 — see DESIGN.md for the mapping to the
 // paper's claims) and can be run standalone from cmd/atomicsim.
+//
+// The harness is the top of the model pipeline (ARCHITECTURE.md): it
+// fans experiment parameter grids out as independent simulation cells
+// on a parallel scheduler (parcell.go), with crash isolation,
+// structured run manifests and byte-exact resume (internal/runlog; see
+// DESIGN.md, "Run manifests and resume"), and optional per-cell
+// metrics collection (internal/metrics; Options.Metrics). Adding an
+// experiment is a registry entry plus a runner — ARCHITECTURE.md,
+// "How do I add a new experiment", walks through it.
 package harness
 
 import (

@@ -10,6 +10,12 @@
 // ns; locked RMW ≈ 20 cycles on an owned line on Xeon, considerably
 // slower on KNL). The reproduction targets the *shape* of the paper's
 // results; DESIGN.md records this substitution.
+//
+// In the model pipeline (ARCHITECTURE.md) these tables are the single
+// source of truth both consumers read: CoherenceParams configures the
+// simulator, and the same constants parameterize the analytical model
+// (internal/core). ARCHITECTURE.md, "How do I add a new machine",
+// covers extending this package.
 package machine
 
 import (

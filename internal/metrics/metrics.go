@@ -1,0 +1,360 @@
+// Package metrics is the observability layer of the simulator: a
+// low-overhead, allocation-free registry of named counters, fixed-size
+// counter vectors, and power-of-two histograms that the coherence
+// protocol (internal/coherence), the event engine (internal/sim), and
+// the benchmark drivers (internal/workload, internal/apps) increment on
+// their hot paths. Where internal/stats computes the *results* the
+// paper reports (latency distributions, fairness indices), this package
+// records *why* a cell produced its number: the transfer mix by data
+// source, invalidations, CAS retries, directory queue depths — the
+// per-event evidence behind the cache-line-bouncing model of MODEL.md
+// §2 (see ARCHITECTURE.md, "Observability", for where it plugs in).
+//
+// Everything is built around two properties the harness depends on:
+//
+//   - Nil is off. A nil *Registry hands out nil handles, and every
+//     handle method is a nil-receiver no-op, so instrumented code calls
+//     Inc/Add/Record/Observe unconditionally and an uninstrumented run
+//     pays one nil check per site — no branches on configuration flags,
+//     no interface dispatch, zero allocations (verified by the
+//     coherence and harness bench suites against BENCH_harness.json).
+//   - Snapshots are deterministic and byte-exact under JSON. Snapshot
+//     output is sorted by name, holds only integers, and survives a
+//     Marshal/Unmarshal/Marshal cycle byte-identically, which is what
+//     lets cell snapshots ride the internal/runlog resume cache: a
+//     resumed run replays exactly the snapshot the fresh run recorded.
+//
+// Registries are single-threaded by design: one registry belongs to one
+// simulation cell (one engine), mirroring the harness rule that
+// parallelism lives across cells, never inside one.
+package metrics
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; a nil Counter discards increments.
+type Counter struct {
+	v uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Vector is a fixed-size array of counters addressed by a small integer
+// index (a thread ID, a core). A nil Vector discards increments;
+// out-of-range indices are ignored rather than panicking, so hot paths
+// need no bounds bookkeeping of their own.
+type Vector struct {
+	vals []uint64
+}
+
+// Inc adds one to slot i.
+func (v *Vector) Inc(i int) {
+	if v != nil && i >= 0 && i < len(v.vals) {
+		v.vals[i]++
+	}
+}
+
+// Add adds n to slot i.
+func (v *Vector) Add(i int, n uint64) {
+	if v != nil && i >= 0 && i < len(v.vals) {
+		v.vals[i] += n
+	}
+}
+
+// Values returns the slots (nil for a nil vector). The slice is the
+// vector's backing store; callers must not modify it.
+func (v *Vector) Values() []uint64 {
+	if v == nil {
+		return nil
+	}
+	return v.vals
+}
+
+// histBuckets is one bucket per possible bit length of a uint64 (0..64):
+// bucket b counts values whose bit length is b, i.e. values in
+// [2^(b-1), 2^b), with bucket 0 holding exactly the zeros.
+const histBuckets = 65
+
+// Histogram counts integer observations in power-of-two buckets, plus
+// exact count, sum, and max. Recording is a few instructions and never
+// allocates; a nil Histogram discards observations. (internal/stats has
+// a richer sim.Time histogram for result reporting; this one is the
+// hot-path event variant.)
+type Histogram struct {
+	n, sum, max uint64
+	buckets     [histBuckets]uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bits.Len64(v)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// BucketLow returns the inclusive lower bound of bucket b.
+func BucketLow(b int) uint64 {
+	if b <= 0 {
+		return 0
+	}
+	return 1 << (b - 1)
+}
+
+// Registry names and owns a cell's instruments. The zero value is not
+// used; call New. A nil *Registry is the disabled state: its methods
+// return nil handles whose operations are no-ops, so a single nil check
+// at handle-creation time turns the whole layer off.
+//
+// Registration (Counter/Vector/Histogram) allocates and is meant for
+// setup time; the returned handles are then free to operate. Asking for
+// an already-registered name returns the existing instrument.
+type Registry struct {
+	counters map[string]*Counter
+	vectors  map[string]*Vector
+	hists    map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		vectors:  map[string]*Vector{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Vector returns the named vector of n slots, creating it if needed. A
+// vector re-requested with a larger n grows to it (slot values are
+// kept); shrinking never happens.
+func (r *Registry) Vector(name string, n int) *Vector {
+	if r == nil {
+		return nil
+	}
+	v, ok := r.vectors[name]
+	if !ok {
+		v = &Vector{vals: make([]uint64, n)}
+		r.vectors[name] = v
+	} else if n > len(v.vals) {
+		grown := make([]uint64, n)
+		copy(grown, v.vals)
+		v.vals = grown
+	}
+	return v
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every registered instrument, keeping registrations and
+// handles valid. Workloads call it at the end of warmup so snapshots
+// cover exactly the measured window.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	for _, c := range r.counters {
+		c.v = 0
+	}
+	for _, v := range r.vectors {
+		for i := range v.vals {
+			v.vals[i] = 0
+		}
+	}
+	for _, h := range r.hists {
+		*h = Histogram{}
+	}
+}
+
+// CounterSnap is one counter's value in a Snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// VectorSnap is one vector's slots in a Snapshot.
+type VectorSnap struct {
+	Name   string   `json:"name"`
+	Values []uint64 `json:"values"`
+}
+
+// BucketSnap is one non-empty histogram bucket: Low is the bucket's
+// inclusive lower bound (a power of two, or 0), Count its population.
+type BucketSnap struct {
+	Low   uint64 `json:"low"`
+	Count uint64 `json:"count"`
+}
+
+// HistSnap is one histogram's state in a Snapshot. Buckets holds only
+// the non-empty buckets, in ascending Low order.
+type HistSnap struct {
+	Name    string       `json:"name"`
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Max     uint64       `json:"max"`
+	Buckets []BucketSnap `json:"buckets,omitempty"`
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (h *HistSnap) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Snapshot is a registry's state frozen for transport: sorted by name,
+// integers only, byte-exact under a JSON round trip. Cell results carry
+// one (see workload.Result.Metrics), which is how snapshots persist
+// through run manifests and survive resume.
+type Snapshot struct {
+	Counters []CounterSnap `json:"counters,omitempty"`
+	Vectors  []VectorSnap  `json:"vectors,omitempty"`
+	Hists    []HistSnap    `json:"hists,omitempty"`
+}
+
+// Snapshot freezes the registry's current state (nil for a nil
+// registry, so callers can assign the result unconditionally).
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{}
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.v})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	for name, v := range r.vectors {
+		vals := make([]uint64, len(v.vals))
+		copy(vals, v.vals)
+		s.Vectors = append(s.Vectors, VectorSnap{Name: name, Values: vals})
+	}
+	sort.Slice(s.Vectors, func(i, j int) bool { return s.Vectors[i].Name < s.Vectors[j].Name })
+	for name, h := range r.hists {
+		hs := HistSnap{Name: name, Count: h.n, Sum: h.sum, Max: h.max}
+		for b, n := range h.buckets {
+			if n > 0 {
+				hs.Buckets = append(hs.Buckets, BucketSnap{Low: BucketLow(b), Count: n})
+			}
+		}
+		s.Hists = append(s.Hists, hs)
+	}
+	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
+	return s
+}
+
+// Counter returns the named counter's value from the snapshot (0, false
+// when absent).
+func (s *Snapshot) Counter(name string) (uint64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	for i := range s.Counters {
+		if s.Counters[i].Name == name {
+			return s.Counters[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// Hist returns the named histogram from the snapshot (nil when absent).
+func (s *Snapshot) Hist(name string) *HistSnap {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Hists {
+		if s.Hists[i].Name == name {
+			return &s.Hists[i]
+		}
+	}
+	return nil
+}
+
+// Vector returns the named vector's values from the snapshot (nil when
+// absent).
+func (s *Snapshot) Vector(name string) []uint64 {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Vectors {
+		if s.Vectors[i].Name == name {
+			return s.Vectors[i].Values
+		}
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package metrics
+
+// Well-known instrument names. Subsystems register under these so the
+// harness's per-cell breakdown tables and tests can address them
+// without string duplication. The scheme is "<layer>.<event>"; the
+// coherence source suffixes match coherence.Source.String().
+const (
+	// Coherence layer (internal/coherence): line transfers by the data
+	// source that served them, third-party invalidations paid by RFOs,
+	// cross-socket transfers, and the directory's queueing behavior.
+	CohTransferLocal  = "coh.transfer.local"
+	CohTransferRemote = "coh.transfer.remote-cache"
+	CohTransferLLC    = "coh.transfer.llc"
+	CohTransferDRAM   = "coh.transfer.dram"
+	CohInvalidations  = "coh.invalidations"
+	CohCrossSocket    = "coh.cross_socket"
+	// CohQueueDepth observes the line-queue depth at each enqueue (how
+	// many requests the newcomer joined behind, including in-service).
+	CohQueueDepth = "coh.queue_depth"
+	// CohQueuedBehind observes, per granted request, how many other
+	// requests were granted while it waited (arbitration bypasses).
+	CohQueuedBehind = "coh.queued_behind"
+
+	// Event engine (internal/sim): events executed in the measured
+	// window and the event queue's high-water mark over the whole run.
+	SimEvents    = "sim.events"
+	SimQueuePeak = "sim.queue_peak"
+
+	// Benchmark drivers (internal/workload, internal/apps): successful
+	// operations per thread (the fairness evidence), CAS retry events,
+	// and the issue mix of read-write workloads.
+	WorkThreadOps   = "work.thread_ops"
+	WorkCASFailures = "work.cas_failures"
+	WorkReads       = "work.reads"
+	WorkRMWs        = "work.rmws"
+)

@@ -2,7 +2,9 @@
 // harness's figures are figures and not only tables. Charts support
 // multiple series, linear or logarithmic axes, and automatic legends —
 // enough to eyeball every curve shape the paper reports from a
-// terminal.
+// terminal. In the model pipeline (ARCHITECTURE.md) it is a pure
+// renderer: the harness converts figure-shaped tables into charts
+// (harness.ChartFromTable) behind atomicsim's -plot flag.
 package plot
 
 import (

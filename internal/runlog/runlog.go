@@ -16,6 +16,13 @@
 //
 // Both files are append-only and tolerate a truncated final line, so a
 // run killed mid-write loses at most the cell that was being recorded.
+//
+// In the model pipeline (ARCHITECTURE.md) this package is the
+// persistence arm of the observability layer: the harness's cell
+// scheduler writes both streams, and the byte-exact round-trip
+// contract on cached results (DESIGN.md, "Run manifests and resume")
+// is what lets cell metrics snapshots (internal/metrics) survive a
+// resume unchanged.
 package runlog
 
 import (

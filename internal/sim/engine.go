@@ -6,6 +6,11 @@
 // schedule, independent of the host machine or Go scheduler. This determinism
 // is what lets the repository reproduce the paper's experiments bit-for-bit
 // across runs, something raw hardware measurements cannot do.
+//
+// In the model pipeline (ARCHITECTURE.md) this package is the bottom
+// layer: internal/coherence schedules every protocol message on it,
+// and each experiment cell owns a private engine — parallelism lives
+// across cells (internal/harness), never inside one.
 package sim
 
 import "fmt"
@@ -124,6 +129,10 @@ type Engine struct {
 	stopped bool
 	// Processed counts events executed, for reporting and loop guards.
 	processed uint64
+	// maxPending is the event queue's high-water mark, an always-on
+	// observability counter (see MaxPending): how bursty the simulated
+	// system's scheduling got. One compare per push keeps it current.
+	maxPending int
 }
 
 // NewEngine returns an engine with its clock at zero.
@@ -152,7 +161,15 @@ func (e *Engine) At(t Time, fn func()) {
 	}
 	e.seq++
 	e.queue.push(event{at: t, seq: e.seq, fn: fn})
+	if len(e.queue) > e.maxPending {
+		e.maxPending = len(e.queue)
+	}
 }
+
+// MaxPending reports the largest number of events that were ever queued
+// at once — the schedule's burstiness, exported into metrics snapshots
+// (internal/metrics) as "sim.queue_peak".
+func (e *Engine) MaxPending() int { return e.maxPending }
 
 // Pending reports the number of events waiting to run.
 func (e *Engine) Pending() int { return len(e.queue) }

@@ -2,6 +2,13 @@
 // latency distributions, throughput, per-thread fairness (Jain's index,
 // coefficient of variation, min/max ratio), and simple aggregates with
 // streaming computation so million-operation runs stay cheap.
+//
+// In the model pipeline (ARCHITECTURE.md) these are the quantities the
+// benchmark drivers measure and the model predicts — MODEL.md §5
+// states the fairness and energy definitions. Histograms carry an
+// exact sparse JSON encoding (json.go) so they survive the resume
+// cache's byte-exact round trip; the cheaper always-on event counters
+// live in internal/metrics instead.
 package stats
 
 import (

@@ -6,6 +6,12 @@
 // A "node" is a network stop (a tile holding one core on KNL, one core's
 // ring stop on Xeon E5). The machine package maps hardware threads onto
 // nodes; this package is purely geometric.
+//
+// In the model pipeline (ARCHITECTURE.md) both the simulator
+// (internal/coherence) and the detailed analytical model
+// (internal/core) read hop counts from here — the d(·,·) of MODEL.md
+// §1. ARCHITECTURE.md, "How do I add a new machine", covers adding a
+// topology.
 package topology
 
 import "fmt"

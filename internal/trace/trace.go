@@ -3,6 +3,12 @@
 // convoyed — and computes the summary statistics the paper's analysis
 // narrates: ownership-run lengths (does one core monopolize the line?),
 // transfer distance distribution, and inter-acquisition gaps.
+//
+// It is the event-level arm of the observability layer
+// (ARCHITECTURE.md, "Observability"): where internal/metrics counts,
+// this package keeps the events themselves, for the CSV dump and the
+// Chrome trace_event timeline export (chrome.go, surfaced as
+// cmd/atomictrace -chrome) viewable in chrome://tracing or Perfetto.
 package trace
 
 import (

@@ -5,6 +5,13 @@
 // each simulated thread repeatedly performs optional local work and one
 // atomic primitive, and the harness measures latency, throughput,
 // per-thread fairness, and energy over a warmed-up window.
+//
+// In the model pipeline (ARCHITECTURE.md) this package is the main
+// benchmark driver: it assembles a machine description, a fresh
+// simulation engine and an atomics.Memory into one measured cell, the
+// simulated realization of the closed system MODEL.md §2 models
+// analytically (§5 for the open-loop variant). Config.Metrics switches
+// on the per-cell observability registry (internal/metrics).
 package workload
 
 import (
@@ -14,6 +21,7 @@ import (
 	"atomicsmodel/internal/coherence"
 	"atomicsmodel/internal/energy"
 	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/metrics"
 	"atomicsmodel/internal/sim"
 	"atomicsmodel/internal/stats"
 )
@@ -83,6 +91,12 @@ type Config struct {
 	// OpenLoopInterarrival is the per-thread mean inter-arrival time
 	// (required when OpenLoop is set).
 	OpenLoopInterarrival sim.Time
+	// Metrics enables the per-cell observability registry: coherence
+	// transfer/invalidation/queue-depth instruments, engine counters,
+	// and the workload's own retry and per-thread counters, snapshotted
+	// over the measured window into Result.Metrics. Off (the default)
+	// costs one nil check per instrumented site and changes no results.
+	Metrics bool
 }
 
 func (c *Config) fillDefaults() error {
@@ -153,7 +167,16 @@ type Result struct {
 	Energy energy.Report
 	// Coh is the coherence counter delta for the measured window.
 	Coh coherence.Stats
+	// Metrics is the per-cell metrics snapshot over the measured window
+	// (nil unless Config.Metrics was set). It rides the JSON encoding,
+	// so cached cells replay it byte-identically on resume.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
+
+// MetricsSnapshot exposes the cell's metrics snapshot to the harness
+// (nil when metrics were off). It implements the interface the cell
+// scheduler uses to deliver snapshots to a MetricsCollector.
+func (r *Result) MetricsSnapshot() *metrics.Snapshot { return r.Metrics }
 
 // CellStats reports the simulated window and op count for run
 // manifests (harness cell records).
@@ -209,6 +232,14 @@ type runner struct {
 	perOps   []uint64
 	lat      *stats.Histogram
 	slat     *stats.Histogram
+
+	// Optional metrics instruments (nil when Config.Metrics is off; all
+	// operations on them are nil-safe no-ops).
+	reg        *metrics.Registry
+	mThreadOps *metrics.Vector
+	mFailures  *metrics.Counter
+	mReads     *metrics.Counter
+	mRMWs      *metrics.Counter
 }
 
 // Run executes one configured workload and returns its measurements.
@@ -227,6 +258,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	meter := energy.NewMeter(cfg.Machine)
 	mem.System().SetTracer(meter.Observe)
+	var reg *metrics.Registry
+	if cfg.Metrics {
+		reg = metrics.New()
+	}
+	mem.System().InstallMetrics(reg) // nil registry = off
 
 	r := &runner{
 		cfg:    cfg,
@@ -237,6 +273,12 @@ func Run(cfg Config) (*Result, error) {
 		lat:    stats.NewHistogram(),
 		slat:   stats.NewHistogram(),
 		endAt:  cfg.Warmup + cfg.Duration,
+
+		reg:        reg,
+		mThreadOps: reg.Vector(metrics.WorkThreadOps, cfg.Threads),
+		mFailures:  reg.Counter(metrics.WorkCASFailures),
+		mReads:     reg.Counter(metrics.WorkReads),
+		mRMWs:      reg.Counter(metrics.WorkRMWs),
 	}
 	root := sim.NewRNG(cfg.Seed)
 	for i := 0; i < cfg.Threads; i++ {
@@ -275,10 +317,15 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	var cohAtMeasure coherence.Stats
+	var procAtMeasure uint64
 	eng.At(cfg.Warmup, func() {
 		r.measuring = true
 		r.meter.Reset()
 		cohAtMeasure = mem.System().Stats()
+		procAtMeasure = eng.Processed()
+		// Zero the instruments so the snapshot, like every other
+		// reported number, covers exactly the measured window.
+		reg.Reset()
 	})
 
 	eng.Run(r.endAt)
@@ -307,6 +354,11 @@ func Run(cfg Config) (*Result, error) {
 		MinMax:         stats.MinMaxRatio(r.perOps),
 		Energy:         meter.Report(cfg.Duration, cfg.Threads, len(coresUsed), r.ops),
 		Coh:            subStats(cohEnd, cohAtMeasure),
+	}
+	if reg != nil {
+		reg.Counter(metrics.SimEvents).Add(eng.Processed() - procAtMeasure)
+		reg.Counter(metrics.SimQueuePeak).Add(uint64(eng.MaxPending()))
+		res.Metrics = reg.Snapshot()
 	}
 	return res, nil
 }
@@ -358,6 +410,11 @@ func (r *runner) operate(th *thread) {
 	if r.cfg.Mode == ReadWriteMix && th.rng.Float64() < r.cfg.ReadFraction {
 		p = atomics.Load
 	}
+	if p == atomics.Load {
+		r.mReads.Inc()
+	} else {
+		r.mRMWs.Inc()
+	}
 
 	switch p {
 	case atomics.CAS, atomics.CAS2:
@@ -394,8 +451,10 @@ func (r *runner) complete(th *thread, res atomics.Result, ok bool) {
 		if ok {
 			r.ops++
 			r.perOps[th.id]++
+			r.mThreadOps.Inc(th.id)
 		} else {
 			r.failures++
+			r.mFailures.Inc()
 		}
 		if ok && th.inSpan {
 			r.slat.Record(r.eng.Now() - th.spanStart)

@@ -1,10 +1,12 @@
 #!/bin/sh
-# Repo checks: build, static analysis, the full test suite, a
-# race-detector pass over the packages with real concurrency (the cell
-# scheduler, the run log it writes through, and the hottest pooled data
-# structures in the coherence layer), and a smoke run of the atomicsim
-# CLI that exercises the manifest/resume path end to end. Run from the
-# repo root.
+# Repo checks: build, static analysis, the docs gate (every package
+# has a doc comment; no broken references in the top-level *.md files),
+# the full test suite, a race-detector pass over the packages with real
+# concurrency (the cell scheduler, the run log it writes through, and
+# the hottest pooled data structures in the coherence layer), and smoke
+# runs of the atomicsim CLI exercising the manifest/resume path and the
+# observability layer (-metrics tables, -chrome traces) end to end.
+# Run from the repo root.
 set -eu
 
 echo "== go build ./..."
@@ -12,6 +14,9 @@ go build ./...
 
 echo "== go vet ./..."
 go vet ./...
+
+echo "== docs check (package comments + markdown references)"
+go run ./scripts/docscheck
 
 echo "== go test ./..."
 go test ./...
@@ -36,5 +41,18 @@ go run ./cmd/atomicsim -checkmanifest "$dir/run"
 grep -q '"type":"cell"' "$dir/run/manifest.jsonl"
 grep -q '"type":"run"' "$dir/run/manifest.jsonl"
 grep -q '"cached":true' "$dir/run/manifest.jsonl"
+
+echo "== observability smoke run (-metrics tables, -chrome trace)"
+go run ./cmd/atomicsim -quick -quiet -exp F3 -machine XeonE5 -metrics \
+    > "$dir/metrics.txt"
+grep -q 'metrics (F3)' "$dir/metrics.txt"
+# Metrics must not perturb results: the table prefix matches the plain run.
+head -n "$(wc -l < "$dir/fresh.txt")" "$dir/metrics.txt" | cmp - "$dir/fresh.txt" || {
+    echo "-metrics changed the result tables" >&2
+    exit 1
+}
+go run ./cmd/atomictrace -threads 4 -ops 20 -chrome "$dir/trace.json" \
+    > /dev/null 2>&1
+grep -q '"traceEvents"' "$dir/trace.json"
 
 echo "ok"
