@@ -13,6 +13,10 @@
 //	atomicsim -manifest run/      # also write a structured run manifest
 //	atomicsim -resume run/        # re-run only missing/failed cells
 //	atomicsim -checkmanifest run/ # validate a run directory and exit
+//	atomicsim -check              # audit coherence/engine invariants per cell
+//	atomicsim -faults jitter=10   # inject deterministic faults (see -faults below)
+//	atomicsim -celltimeout 30s    # watchdog: fail cells exceeding the deadline
+//	atomicsim -cellretries 2      # retry failed cells before giving up
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"atomicsmodel/internal/faults"
 	"atomicsmodel/internal/harness"
 	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/runlog"
@@ -50,6 +55,11 @@ func main() {
 		manifestDir = flag.String("manifest", "", "run directory for a structured manifest (manifest.jsonl + cells.jsonl); truncates a previous run")
 		resumeDir   = flag.String("resume", "", "resume a previous -manifest run directory: replay cached cells, re-run only missing or failed ones")
 		checkDir    = flag.String("checkmanifest", "", "validate a run directory's manifest and cache, print a summary, and exit")
+
+		check       = flag.Bool("check", false, "audit coherence/engine invariants in every cell; a violation fails the cell with a deterministic report")
+		faultSpec   = flag.String("faults", "", "inject deterministic faults: comma-separated seed=N,jitter=PCT,panic=N[@CELL],casfail=N,sleep=DUR@CELL")
+		cellTimeout = flag.Duration("celltimeout", 0, "wall-clock watchdog deadline per simulation cell (0 = none)")
+		cellRetries = flag.Int("cellretries", 0, "extra attempts for a failed cell before giving up")
 	)
 	flag.Parse()
 
@@ -81,9 +91,19 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	opts := harness.Options{Quick: *quick, Seed: *seed, Par: *par}
+	opts := harness.Options{
+		Quick: *quick, Seed: *seed, Par: *par,
+		Check: *check, CellTimeout: *cellTimeout, CellRetries: *cellRetries,
+	}
 	if *withMet {
 		opts.Metrics = &harness.MetricsCollector{}
+	}
+	if *faultSpec != "" {
+		plan, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Faults = plan
 	}
 	switch {
 	case *manifestDir != "" && *resumeDir != "":
@@ -237,6 +257,15 @@ func attachRunDir(opts *harness.Options, dir string, resume bool) {
 	c, err := runlog.OpenCache(dir)
 	if err != nil {
 		fatal(err)
+	}
+	// Quarantined cache lines are dropped, not fatal — say what was
+	// dropped so the recomputation is explained, not mysterious.
+	for _, q := range c.Quarantined() {
+		if q.Key != "" {
+			fmt.Fprintf(os.Stderr, "atomicsim: quarantined cells.jsonl line %d (key %q): %s; cell will be recomputed\n", q.Line, q.Key, q.Reason)
+		} else {
+			fmt.Fprintf(os.Stderr, "atomicsim: quarantined cells.jsonl line %d: %s; cell will be recomputed\n", q.Line, q.Reason)
+		}
 	}
 	opts.Manifest, opts.Cache = w, c
 }

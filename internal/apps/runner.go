@@ -5,6 +5,8 @@ import (
 
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/faults"
+	"atomicsmodel/internal/invariant"
 	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/metrics"
 	"atomicsmodel/internal/sim"
@@ -28,6 +30,12 @@ type RunConfig struct {
 	// internal/metrics and workload.Config.Metrics); the snapshot lands
 	// in RunResult.Metrics.
 	Metrics bool
+	// Check installs the online invariant checker (internal/invariant);
+	// see workload.Config.Check.
+	Check bool
+	// Faults is this cell's simulation-layer fault plan
+	// (internal/faults); nil injects nothing.
+	Faults *faults.CellPlan
 }
 
 // RunResult reports an application benchmark's measurements.
@@ -71,6 +79,9 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if cfg.Threads <= 0 {
 		return nil, fmt.Errorf("apps: Threads = %d", cfg.Threads)
 	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, fmt.Errorf("apps: %w", err)
+	}
 	if cfg.Placement == nil {
 		cfg.Placement = machine.Compact{}
 	}
@@ -95,6 +106,11 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		reg = metrics.New()
 	}
 	mem.System().InstallMetrics(reg) // nil registry = off
+	var chk *invariant.Checker
+	if cfg.Check {
+		chk = invariant.Install(eng, mem.System())
+	}
+	cfg.Faults.Install(eng, mem)
 	mThreadOps := reg.Vector(metrics.WorkThreadOps, cfg.Threads)
 
 	end := cfg.Warmup + cfg.Duration
@@ -133,7 +149,11 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	})
 	eng.Run(end)
 
-	if err := mem.System().CheckInvariants(); err != nil {
+	if chk != nil {
+		if err := chk.Finalize(); err != nil {
+			return nil, fmt.Errorf("apps: %w", err)
+		}
+	} else if err := mem.System().CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("apps: coherence invariant violated: %w", err)
 	}
 	res := &RunResult{

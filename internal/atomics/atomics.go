@@ -145,7 +145,17 @@ type Memory struct {
 	// ctxPool recycles per-operation contexts so the apply/translate
 	// closures every primitive needs are built once, not per operation.
 	ctxPool []*opCtx
+	// casFault, when set, is consulted at every CAS serialization point;
+	// returning true forces the CAS to fail even on a matching value.
+	// Fault plans (internal/faults) use it to provoke retry storms; nil
+	// (the default) costs one branch on the CAS apply path.
+	casFault func() bool
 }
+
+// SetCASFault installs a forced-failure hook for CAS/CAS2 (nil removes
+// it). The hook runs at the serialization point of every CAS, so with a
+// deterministic hook the injected retry storm is reproducible.
+func (mem *Memory) SetCASFault(fn func() bool) { mem.casFault = fn }
 
 // opCtx carries one in-flight operation's parameters. Its two closures
 // (the coherence-level apply and the result translation) are built once
@@ -166,6 +176,9 @@ type opCtx struct {
 func (c *opCtx) apply(cur uint64) (uint64, bool) {
 	switch c.p {
 	case CAS, CAS2:
+		if c.mem.casFault != nil && c.mem.casFault() {
+			return cur, false
+		}
 		if cur == c.arg1 {
 			return c.arg2, true
 		}

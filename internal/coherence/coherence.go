@@ -245,6 +245,56 @@ type lineState struct {
 	queue []*request
 }
 
+// AuditGrant is the auditor's view of one granted (serialized) service:
+// the request's identity and queueing history plus the directory state
+// after the grant's transition was applied. It is passed by value so
+// auditing never allocates on the protocol hot path.
+type AuditGrant struct {
+	Line LineID
+	Core int
+	Kind Kind
+	// Skipped is how many other services this request waited through.
+	Skipped int
+	// QueueLen is the number of requests still waiting after this grant.
+	QueueLen int
+	// Post-transition directory state.
+	Owner      int
+	OwnerDirty bool
+	Sharers    int
+	Valid      bool
+	At         sim.Time
+}
+
+// AuditComplete is the auditor's view of one completed serialized
+// service: the 64-bit value observed at the serialization point and the
+// value the line holds after any write this access performed.
+type AuditComplete struct {
+	Line     LineID
+	Core     int
+	Kind     Kind
+	Observed uint64
+	Wrote    bool
+	New      uint64
+	At       sim.Time
+}
+
+// Auditor observes protocol-level events for online invariant checking
+// (internal/invariant implements it). All methods are called
+// synchronously from the simulation; they must not issue accesses.
+type Auditor interface {
+	// LineEnqueued fires when a request joins a line's queue (fast-path
+	// accesses that never serialize do not enqueue).
+	LineEnqueued(id LineID, queueLen int)
+	// LineGranted fires after a grant's directory transition.
+	LineGranted(g AuditGrant)
+	// AccessCompleted fires when a granted service completes, after the
+	// requester's modification ran.
+	AccessCompleted(c AuditComplete)
+	// ValueSeeded fires when experiment setup writes a line value
+	// directly (SetValue), so value-conservation ledgers can seed.
+	ValueSeeded(id LineID, v uint64)
+}
+
 // System is a coherent memory system attached to a simulation engine.
 type System struct {
 	eng    *sim.Engine
@@ -253,6 +303,7 @@ type System struct {
 	lines  map[LineID]*lineState
 	net    *network // nil when bandwidth modeling is off
 	tracer func(TraceEvent)
+	aud    Auditor // nil unless invariant checking is installed
 
 	// Hot-path lookup tables, built once at NewSystem time: the dense
 	// topology replaces per-message routing arithmetic with array reads,
@@ -371,6 +422,27 @@ func (s *System) pathCost(proc sim.Time, nodes [4]int, n int) (total sim.Time, h
 // SetTracer installs a per-access callback (e.g. the energy meter).
 func (s *System) SetTracer(fn func(TraceEvent)) { s.tracer = fn }
 
+// SetAuditor installs a protocol auditor (nil removes it). With no
+// auditor installed every audit site is a single nil check, keeping the
+// access path allocation-free and byte-identical in behavior.
+func (s *System) SetAuditor(a Auditor) { s.aud = a }
+
+// Arbiter returns the line arbiter the system grants with.
+func (s *System) Arbiter() Arbiter { return s.arb }
+
+// BreakLine deliberately corrupts a line's directory entry by adding
+// ghost as a sharer without clearing the owner — the "two cores both
+// believe they hold the line" state a real protocol bug would produce.
+// It exists ONLY for fault injection (internal/faults): tests seed it
+// and assert the invariant checker reports it. It must never be called
+// outside a test or fault plan.
+func (s *System) BreakLine(id LineID, ghost int) {
+	if ghost < 0 || ghost >= s.p.NumCores {
+		panic(fmt.Sprintf("coherence: BreakLine ghost core %d out of range", ghost))
+	}
+	s.line(id).sharers.add(ghost)
+}
+
 // InstallMetrics registers the coherence layer's instruments on r and
 // starts feeding them: line transfers by source, invalidations,
 // cross-socket transfers, and the directory queueing histograms. A nil
@@ -409,7 +481,12 @@ func (s *System) line(id LineID) *lineState {
 
 // SetValue initializes a line's value without simulating an access
 // (experiment setup).
-func (s *System) SetValue(id LineID, v uint64) { s.line(id).value = v }
+func (s *System) SetValue(id LineID, v uint64) {
+	s.line(id).value = v
+	if s.aud != nil {
+		s.aud.ValueSeeded(id, v)
+	}
+}
 
 // Value reads a line's value without simulating an access (assertions).
 func (s *System) Value(id LineID) uint64 { return s.line(id).value }
@@ -528,6 +605,9 @@ func (s *System) Access(core int, id LineID, kind Kind, hold sim.Time, apply App
 		s.maxQueueLen = len(l.queue)
 	}
 	s.mQueueDepth.Observe(uint64(len(l.queue)))
+	if s.aud != nil {
+		s.aud.LineEnqueued(id, len(l.queue))
+	}
 	if !l.busy {
 		s.serveNext(l)
 	}
@@ -569,6 +649,15 @@ func (s *System) serveNext(l *lineState) {
 	req.res = res
 	req.line = l
 	s.applyDirectory(l, req)
+	if s.aud != nil {
+		s.aud.LineGranted(AuditGrant{
+			Line: l.id, Core: req.core, Kind: req.kind,
+			Skipped: req.skipped, QueueLen: len(l.queue),
+			Owner: l.owner, OwnerDirty: l.ownerDirty,
+			Sharers: l.sharers.count(), Valid: l.valid,
+			At: s.eng.Now(),
+		})
+	}
 
 	// The line is busy for the transfer plus the execution occupancy;
 	// the requester's completion callback fires at the same instant the
@@ -593,6 +682,13 @@ func (s *System) completeService(req *request) {
 			res.Wrote = true
 			l.ownerDirty = true
 		}
+	}
+	if s.aud != nil {
+		s.aud.AccessCompleted(AuditComplete{
+			Line: l.id, Core: req.core, Kind: req.kind,
+			Observed: res.Value, Wrote: res.Wrote, New: l.value,
+			At: s.eng.Now(),
+		})
 	}
 	core, kind, done := req.core, req.kind, req.done
 	// Recycle before the callback runs: done may issue further accesses

@@ -1,0 +1,317 @@
+// Package faults is the deterministic fault-injection harness: every
+// fault it can inject is seeded, reproducible, and scoped, so a test
+// (or a paranoid operator) can prove the pipeline detects and survives
+// each failure mode instead of hoping it does. Faults land at three
+// layers:
+//
+//	simulation — perturbed transfer latencies (Plan.LatencyJitterPct),
+//	             forced CAS-retry storms (Plan.CASFailFirst), and a
+//	             mid-cell panic at a chosen event count
+//	             (Plan.PanicAtEvent), installed on a cell's private
+//	             engine and memory via CellPlan.Install;
+//	run log    — torn final JSONL lines (TearFinalLine), bit-flipped
+//	             cached-cell payloads (FlipPayloadByte), corrupted
+//	             digests (CorruptDigest), and stale-key cache entries
+//	             (InjectStaleEntry), applied to a run directory's files
+//	             the way a crash or bad disk would;
+//	scheduler  — slow cells (Plan.SleepCell/SleepFor burn wall-clock
+//	             time before the cell computes), which is how hung-cell
+//	             watchdog handling is exercised without a real hang.
+//
+// A Plan describes faults for a whole experiment run; ForCell derives
+// the per-cell view the harness threads into workload.Config.Faults /
+// apps.RunConfig.Faults. Plans join the cell cache key (Signature), so
+// a faulted run can never poison a clean run's resume cache. DESIGN.md
+// ("Fault injection and invariants") maps each fault class to the
+// acceptance test that proves it is detected.
+package faults
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/sim"
+)
+
+// Plan is an experiment-level fault plan. The zero value injects
+// nothing; each fault class arms independently.
+type Plan struct {
+	// Seed drives every stochastic fault decision; distinct cells derive
+	// their own streams from it.
+	Seed uint64
+
+	// LatencyJitterPct, when positive, perturbs every relative delay a
+	// cell schedules by a uniform factor in [1-p/100, 1+p/100]. Results
+	// change (deliberately) but stay deterministic for a given seed.
+	LatencyJitterPct float64
+
+	// PanicAtEvent, when positive, panics the targeted cell when its
+	// engine processes this many events — a crash in the middle of a
+	// simulation, recovered by the scheduler as a CellPanicError.
+	PanicAtEvent uint64
+	// PanicCell selects which cell index PanicAtEvent applies to; a
+	// negative value targets every cell.
+	PanicCell int
+
+	// CASFailFirst, when positive, forces each cell's first N CAS
+	// serialization points to fail — a retry storm.
+	CASFailFirst int
+
+	// SleepCell/SleepFor, when SleepFor is positive, make the targeted
+	// cell sleep (wall clock) before computing: a slow or, against a
+	// watchdog deadline, effectively hung cell. Results are unchanged.
+	SleepCell int
+	SleepFor  time.Duration
+}
+
+// CellPlan is one cell's slice of a Plan, with its derived seed.
+type CellPlan struct {
+	Cell             int
+	Seed             uint64
+	LatencyJitterPct float64
+	PanicAtEvent     uint64
+	CASFailFirst     int
+}
+
+// ForCell derives cell i's plan. It is nil-safe and returns nil when no
+// simulation-layer fault applies to the cell, so the common no-fault
+// path stays a single nil check.
+func (p *Plan) ForCell(cell int) *CellPlan {
+	if p == nil {
+		return nil
+	}
+	cp := &CellPlan{
+		Cell:             cell,
+		Seed:             sim.NewRNG(p.Seed + uint64(cell)*0x9e3779b9).Uint64(),
+		LatencyJitterPct: p.LatencyJitterPct,
+		CASFailFirst:     p.CASFailFirst,
+	}
+	if p.PanicAtEvent > 0 && (p.PanicCell < 0 || p.PanicCell == cell) {
+		cp.PanicAtEvent = p.PanicAtEvent
+	}
+	if cp.LatencyJitterPct <= 0 && cp.PanicAtEvent == 0 && cp.CASFailFirst <= 0 {
+		return nil
+	}
+	return cp
+}
+
+// SleepFor returns how long the scheduler should stall cell i before
+// running it (0 for untargeted cells). Nil-safe.
+func (p *Plan) CellSleep(cell int) time.Duration {
+	if p == nil || p.SleepFor <= 0 || p.SleepCell != cell {
+		return 0
+	}
+	return p.SleepFor
+}
+
+// Signature is a deterministic description of the plan, joined into
+// cell cache keys so faulted results never collide with clean ones.
+func (p *Plan) Signature() string {
+	if p == nil {
+		return ""
+	}
+	return fmt.Sprintf("seed=%d,jitter=%g,panic=%d@%d,casfail=%d,sleep=%d@%s",
+		p.Seed, p.LatencyJitterPct, p.PanicAtEvent, p.PanicCell, p.CASFailFirst, p.SleepCell, p.SleepFor)
+}
+
+// Install arms the cell's simulation-layer faults on its private engine
+// and memory. Nil-safe: installing a nil plan is a no-op.
+func (cp *CellPlan) Install(eng *sim.Engine, mem *atomics.Memory) {
+	if cp == nil {
+		return
+	}
+	if cp.LatencyJitterPct > 0 {
+		rng := sim.NewRNG(cp.Seed)
+		scale := cp.LatencyJitterPct / 100
+		eng.SetPerturb(func(d sim.Time) sim.Time {
+			if d <= 0 {
+				return d
+			}
+			f := 1 + scale*(2*rng.Float64()-1)
+			return sim.Time(float64(d) * f)
+		})
+	}
+	if cp.PanicAtEvent > 0 {
+		target, cell := cp.PanicAtEvent, cp.Cell
+		eng.SetEventHook(func(processed uint64) {
+			if processed == target {
+				panic(fmt.Sprintf("faults: injected panic at event %d (cell %d)", target, cell))
+			}
+		})
+	}
+	if cp.CASFailFirst > 0 && mem != nil {
+		remaining := cp.CASFailFirst
+		mem.SetCASFault(func() bool {
+			if remaining > 0 {
+				remaining--
+				return true
+			}
+			return false
+		})
+	}
+}
+
+// Parse builds a Plan from a comma-separated spec, the format behind
+// the CLI -faults flag:
+//
+//	seed=N            fault seed (default 1)
+//	jitter=P          latency jitter, percent
+//	panic=N  panic=N@C  panic at event N (in cell C; all cells without @C)
+//	casfail=N         force the first N CAS attempts per cell to fail
+//	sleep=DUR@C       sleep DUR (Go duration) before cell C runs
+//
+// An empty spec returns nil (no faults).
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &Plan{Seed: 1, PanicCell: -1}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: bad spec element %q (want key=value)", part)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: seed: %v", err)
+			}
+			p.Seed = n
+		case "jitter":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || f > 100 {
+				return nil, fmt.Errorf("faults: jitter %q (want percent in [0,100])", v)
+			}
+			p.LatencyJitterPct = f
+		case "panic":
+			at, cell, hasCell := strings.Cut(v, "@")
+			n, err := strconv.ParseUint(at, 10, 64)
+			if err != nil || n == 0 {
+				return nil, fmt.Errorf("faults: panic %q (want a positive event count)", v)
+			}
+			p.PanicAtEvent = n
+			if hasCell {
+				c, err := strconv.Atoi(cell)
+				if err != nil || c < 0 {
+					return nil, fmt.Errorf("faults: panic cell %q", cell)
+				}
+				p.PanicCell = c
+			}
+		case "casfail":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faults: casfail %q", v)
+			}
+			p.CASFailFirst = n
+		case "sleep":
+			dur, cell, hasCell := strings.Cut(v, "@")
+			d, err := time.ParseDuration(dur)
+			if err != nil || d <= 0 || !hasCell {
+				return nil, fmt.Errorf("faults: sleep %q (want DURATION@CELL)", v)
+			}
+			c, err := strconv.Atoi(cell)
+			if err != nil || c < 0 {
+				return nil, fmt.Errorf("faults: sleep cell %q", cell)
+			}
+			p.SleepFor, p.SleepCell = d, c
+		default:
+			return nil, fmt.Errorf("faults: unknown fault %q (want seed, jitter, panic, casfail, sleep)", k)
+		}
+	}
+	return p, nil
+}
+
+// --- Run-log layer: file corruption the way crashes and bad disks do it ---
+
+// TearFinalLine truncates the file's final line roughly in half,
+// reproducing a process killed mid-write (a torn JSONL record with no
+// trailing newline).
+func TearFinalLine(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	// Find the start of the final non-empty line.
+	end := len(b)
+	for end > 0 && b[end-1] == '\n' {
+		end--
+	}
+	if end == 0 {
+		return fmt.Errorf("faults: %s has no line to tear", path)
+	}
+	start := strings.LastIndexByte(string(b[:end]), '\n') + 1
+	cut := start + (end-start)/2
+	if cut <= start {
+		cut = start + 1
+	}
+	return os.WriteFile(path, b[:cut], 0o644)
+}
+
+// FlipPayloadByte flips one bit inside the JSON payload of the file's
+// 1-based line n — the single-bit corruption a bad sector produces. The
+// flip lands mid-line, so depending on where it hits the record either
+// fails to parse or parses with a content digest that no longer
+// matches; both must be quarantined, never trusted.
+func FlipPayloadByte(path string, line int) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	lines := strings.SplitAfter(string(b), "\n")
+	if line < 1 || line > len(lines) || len(lines[line-1]) < 4 {
+		return fmt.Errorf("faults: %s has no line %d to corrupt", path, line)
+	}
+	raw := []byte(lines[line-1])
+	raw[len(raw)/2] ^= 0x01
+	lines[line-1] = string(raw)
+	return os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644)
+}
+
+// CorruptDigest rewrites the first digest field on the file's 1-based
+// line n so the stored content hash no longer matches the payload: a
+// well-formed JSON record carrying silently wrong data. Only a content
+// check can catch this one.
+func CorruptDigest(path string, line int) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	lines := strings.SplitAfter(string(b), "\n")
+	if line < 1 || line > len(lines) {
+		return fmt.Errorf("faults: %s has no line %d", path, line)
+	}
+	const marker = `"digest":"`
+	idx := strings.Index(lines[line-1], marker)
+	if idx < 0 || len(lines[line-1]) < idx+len(marker)+1 {
+		return fmt.Errorf("faults: %s line %d has no digest field", path, line)
+	}
+	raw := []byte(lines[line-1])
+	pos := idx + len(marker)
+	if raw[pos] == '0' {
+		raw[pos] = 'f'
+	} else {
+		raw[pos] = '0'
+	}
+	lines[line-1] = string(raw)
+	return os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644)
+}
+
+// InjectStaleEntry appends a well-formed cache entry under a key no
+// live cell uses (a leftover from a renamed experiment or an old
+// schema). A robust resume must ignore it and produce tables
+// byte-identical to a clean run.
+func InjectStaleEntry(path, key string, value []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = fmt.Fprintf(f, "{\"key\":%q,\"digest\":\"deadbeefdeadbeef\",\"value\":%s}\n", key, value)
+	return err
+}

@@ -1,0 +1,225 @@
+package faults
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"atomicsmodel/internal/sim"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	p, err := Parse("seed=7,jitter=12.5,panic=500@3,casfail=9,sleep=50ms@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{Seed: 7, LatencyJitterPct: 12.5, PanicAtEvent: 500, PanicCell: 3,
+		CASFailFirst: 9, SleepCell: 2, SleepFor: 50 * time.Millisecond}
+	if *p != want {
+		t.Fatalf("got %+v, want %+v", *p, want)
+	}
+	// panic without @CELL targets every cell.
+	p, err = Parse("panic=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PanicCell != -1 || p.PanicAtEvent != 100 {
+		t.Fatalf("got %+v", *p)
+	}
+	if p, err := Parse(""); err != nil || p != nil {
+		t.Fatalf("empty spec: plan=%v err=%v, want nil/nil", p, err)
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"nonsense", "jitter=-1", "jitter=101", "jitter=x",
+		"panic=0", "panic=abc", "panic=5@-1",
+		"casfail=-2", "sleep=50ms", "sleep=0s@1", "sleep=1s@-3",
+		"seed=notanumber", "unknown=1",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestForCellTargeting(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.ForCell(0) != nil {
+		t.Fatal("nil plan derived a cell plan")
+	}
+	if nilPlan.CellSleep(0) != 0 {
+		t.Fatal("nil plan slept")
+	}
+
+	p := &Plan{Seed: 1, PanicAtEvent: 100, PanicCell: 2}
+	if cp := p.ForCell(1); cp != nil {
+		t.Fatalf("cell 1 got a plan (%+v) though only cell 2 is targeted", cp)
+	}
+	cp := p.ForCell(2)
+	if cp == nil || cp.PanicAtEvent != 100 {
+		t.Fatalf("cell 2 plan: %+v", cp)
+	}
+
+	// An untargeted panic reaches every cell, with distinct derived seeds.
+	all := &Plan{Seed: 1, PanicAtEvent: 100, PanicCell: -1}
+	a, b := all.ForCell(0), all.ForCell(1)
+	if a == nil || b == nil {
+		t.Fatal("untargeted panic skipped a cell")
+	}
+	if a.Seed == b.Seed {
+		t.Fatal("cells 0 and 1 derived the same fault seed")
+	}
+
+	sleeper := &Plan{SleepCell: 3, SleepFor: time.Millisecond}
+	if sleeper.CellSleep(3) != time.Millisecond || sleeper.CellSleep(4) != 0 {
+		t.Fatal("sleep targeting wrong")
+	}
+	// A sleep-only plan has no simulation-layer component.
+	if sleeper.ForCell(3) != nil {
+		t.Fatal("sleep-only plan produced a simulation-layer cell plan")
+	}
+}
+
+func TestSignatureDeterministicAndDistinct(t *testing.T) {
+	a, _ := Parse("jitter=5,casfail=2")
+	b, _ := Parse("jitter=5,casfail=2")
+	c, _ := Parse("jitter=5,casfail=3")
+	if a.Signature() != b.Signature() {
+		t.Fatal("equal plans produced different signatures")
+	}
+	if a.Signature() == c.Signature() {
+		t.Fatal("different plans produced the same signature")
+	}
+	var nilPlan *Plan
+	if nilPlan.Signature() != "" {
+		t.Fatal("nil plan has a non-empty signature")
+	}
+}
+
+func TestJitterPerturbsDeterministically(t *testing.T) {
+	perturbed := func(seed uint64) []sim.Time {
+		eng := sim.NewEngine()
+		(&CellPlan{Cell: 0, Seed: seed, LatencyJitterPct: 20}).Install(eng, nil)
+		var at []sim.Time
+		for i := 0; i < 8; i++ {
+			eng.Schedule(100*sim.Nanosecond, func() { at = append(at, eng.Now()) })
+		}
+		eng.Drain()
+		return at
+	}
+	a, b := perturbed(1), perturbed(1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := perturbed(2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+	// Jitter stays within the configured band.
+	for _, at := range a {
+		if at < 80*sim.Nanosecond || at > 120*sim.Nanosecond {
+			t.Fatalf("perturbed delay %v outside the 20%% band around 100ns", at)
+		}
+	}
+}
+
+func TestPanicAtEventFiresExactly(t *testing.T) {
+	eng := sim.NewEngine()
+	(&CellPlan{Cell: 5, Seed: 1, PanicAtEvent: 3}).Install(eng, nil)
+	ran := 0
+	for i := 0; i < 10; i++ {
+		eng.Schedule(sim.Time(i)*sim.Nanosecond, func() { ran++ })
+	}
+	msg := func() (m string) {
+		defer func() {
+			if r := recover(); r != nil {
+				m, _ = r.(string)
+			}
+		}()
+		eng.Drain()
+		return ""
+	}()
+	if want := "faults: injected panic at event 3 (cell 5)"; msg != want {
+		t.Fatalf("panic message %q, want %q", msg, want)
+	}
+	if ran != 2 {
+		t.Fatalf("%d events completed before the injected panic, want 2", ran)
+	}
+}
+
+func TestTearFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.jsonl")
+	if err := os.WriteFile(path, []byte("{\"a\":1}\n{\"b\":22222222}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TearFinalLine(path); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	s := string(b)
+	if !strings.HasPrefix(s, "{\"a\":1}\n") {
+		t.Fatalf("tear damaged an interior line: %q", s)
+	}
+	last := s[len("{\"a\":1}\n"):]
+	if strings.HasSuffix(last, "\n") || len(last) >= len(`{"b":22222222}`) {
+		t.Fatalf("final line not torn: %q", last)
+	}
+	if err := TearFinalLine(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("tearing a missing file succeeded")
+	}
+}
+
+func TestFlipPayloadByteAndCorruptDigest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	orig := "{\"key\":\"k\",\"digest\":\"0123456789abcdef\",\"value\":{\"v\":1}}\n"
+	if err := os.WriteFile(path, []byte(orig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipPayloadByte(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(b) == orig {
+		t.Fatal("FlipPayloadByte changed nothing")
+	}
+	if len(b) != len(orig) {
+		t.Fatalf("flip changed length: %d -> %d", len(orig), len(b))
+	}
+
+	if err := os.WriteFile(path, []byte(orig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptDigest(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = os.ReadFile(path)
+	if string(b) == orig || !strings.Contains(string(b), "\"key\":\"k\"") {
+		t.Fatalf("CorruptDigest result: %q", b)
+	}
+	if err := CorruptDigest(path, 7); err == nil {
+		t.Fatal("corrupting a missing line succeeded")
+	}
+}
+
+func TestInjectStaleEntry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	if err := InjectStaleEntry(path, "old|key", []byte(`{"v":9}`)); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	if !strings.Contains(string(b), `"key":"old|key"`) || !strings.HasSuffix(string(b), "\n") {
+		t.Fatalf("stale entry malformed: %q", b)
+	}
+}

@@ -66,12 +66,12 @@ func runF13(o Options) ([]*Table, error) {
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
 		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, arbs[s.arb].name)
-	}, func(_ int, s spec) (*workload.Result, error) {
+	}, func(ci int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: atomics.FAA,
 			Mode: workload.HighContention, Arbiter: arbs[s.arb].mk(o.Seed),
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(),
+			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
 		})
 	})
 	if err != nil {
@@ -152,12 +152,12 @@ func runF14(o Options) ([]*Table, error) {
 	}
 	mixes, err := FanoutKeyed(o, mixSpecs, func(s mixSpec) string {
 		return fmt.Sprintf("mix/%s/read=%v", s.m.Name, s.rf)
-	}, func(_ int, s mixSpec) (*workload.Result, error) {
+	}, func(ci int, s mixSpec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: 16, Primitive: atomics.FAA,
 			Mode: workload.ReadWriteMix, ReadFraction: s.rf,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			Metrics: o.MetricsOn(),
+			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
 		})
 	})
 	if err != nil {
@@ -176,11 +176,11 @@ func runF14(o Options) ([]*Table, error) {
 	}
 	topoRes, err := FanoutKeyed(o, topoMachines, func(m *machine.Machine) string {
 		return "topo/" + m.Name
-	}, func(_ int, m *machine.Machine) (*workload.Result, error) {
+	}, func(ci int, m *machine.Machine) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: m, Threads: 16, Primitive: atomics.FAA, Mode: workload.HighContention,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			Metrics: o.MetricsOn(),
+			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
 		})
 	})
 	if err != nil {
@@ -280,14 +280,14 @@ func runF15(o Options) ([]*Table, error) {
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
 		return fmt.Sprintf("%s/stripes=%d/reads=%v", s.m.Name, s.stripes, s.reads)
-	}, func(_ int, s spec) (*apps.RunResult, error) {
+	}, func(ci int, s spec) (*apps.RunResult, error) {
 		return apps.Run(apps.RunConfig{
 			Machine: s.m, Threads: threads,
 			Build: func(e *sim.Engine, mem *atomics.Memory) apps.App {
 				return apps.NewStripedCounter(mem, s.stripes, s.reads)
 			},
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			Metrics: o.MetricsOn(),
+			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
 		})
 	})
 	if err != nil {

@@ -45,7 +45,7 @@ func runF9(o Options) ([]*Table, error) {
 			kind = "cas"
 		}
 		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, kind)
-	}, func(_ int, s spec) (*apps.RunResult, error) {
+	}, func(ci int, s spec) (*apps.RunResult, error) {
 		build := func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewFAACounter(mem) }
 		if s.cas {
 			build = func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewCASCounter(mem) }
@@ -53,7 +53,7 @@ func runF9(o Options) ([]*Table, error) {
 		return apps.Run(apps.RunConfig{
 			Machine: s.m, Threads: s.n, Build: build,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(),
+			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
 		})
 	})
 	if err != nil {
@@ -138,11 +138,11 @@ func runF10(o Options) ([]*Table, error) {
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
 		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, buildersFor(s.m)[s.b].name)
-	}, func(_ int, s spec) (*apps.RunResult, error) {
+	}, func(ci int, s spec) (*apps.RunResult, error) {
 		return apps.Run(apps.RunConfig{
 			Machine: s.m, Threads: s.n, Build: buildersFor(s.m)[s.b].mk,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(),
+			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
 		})
 	})
 	if err != nil {

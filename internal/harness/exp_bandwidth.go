@@ -5,6 +5,7 @@ import (
 
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/invariant"
 	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/sim"
 )
@@ -43,7 +44,7 @@ func runF16(o Options) ([]*Table, error) {
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
 		return fmt.Sprintf("%s/occ=%v", s.base.Name, s.occ)
-	}, func(_ int, s spec) (cell, error) {
+	}, func(ci int, s spec) (cell, error) {
 		m := *s.base
 		m.LinkOccupancy = m.Cycles(s.occ)
 		storm, victimLat, stallShare, err := stormAndVictim(&m, o)
@@ -81,6 +82,10 @@ func stormAndVictim(m *machine.Machine, o Options) (stormMops, victimLatNs, stal
 	mem, err := atomics.NewMemory(eng, m, nil)
 	if err != nil {
 		return 0, 0, 0, err
+	}
+	var chk *invariant.Checker
+	if o.CheckOn() {
+		chk = invariant.Install(eng, mem.System())
 	}
 	const (
 		stormLine  coherence.LineID = 1
@@ -144,7 +149,11 @@ func stormAndVictim(m *machine.Machine, o Options) (stormMops, victimLatNs, stal
 		stallAtWarm = mem.System().Stats().LinkStall
 	})
 	eng.Run(end)
-	if err := mem.System().CheckInvariants(); err != nil {
+	if chk != nil {
+		if err := chk.Finalize(); err != nil {
+			return 0, 0, 0, err
+		}
+	} else if err := mem.System().CheckInvariants(); err != nil {
 		return 0, 0, 0, err
 	}
 	if victimN == 0 {

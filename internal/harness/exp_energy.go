@@ -44,11 +44,11 @@ func runF6(o Options) ([]*Table, error) {
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
 		return fmt.Sprintf("%s/n=%d/%s-%s", s.m.Name, s.n, cells[s.c].p, cells[s.c].mode)
-	}, func(_ int, s spec) (*workload.Result, error) {
+	}, func(ci int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: cells[s.c].p, Mode: cells[s.c].mode,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(),
+			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
 		})
 	})
 	if err != nil {

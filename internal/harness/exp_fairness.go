@@ -54,20 +54,20 @@ func runF5(o Options) ([]*Table, error) {
 			name = "faa-" + arbs[s.arb].name
 		}
 		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, name)
-	}, func(_ int, s spec) (*workload.Result, error) {
+	}, func(ci int, s spec) (*workload.Result, error) {
 		if s.arb == len(arbs) {
 			return workload.Run(workload.Config{
 				Machine: s.m, Threads: s.n, Primitive: atomics.CAS,
 				Mode:   workload.HighContention,
 				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-				Metrics: o.MetricsOn(),
+				Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
 			})
 		}
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: atomics.FAA,
 			Mode: workload.HighContention, Arbiter: arbs[s.arb].mk(o.Seed + uint64(s.n)),
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(),
+			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
 		})
 	})
 	if err != nil {

@@ -51,8 +51,8 @@ func runF1(o Options) ([]*Table, error) {
 	}
 	lats, err := FanoutKeyed(o, specs, func(s spec) string {
 		return s.m.Name + "/" + s.p.String() + "/" + s.st.String()
-	}, func(_ int, s spec) (sim.Time, error) {
-		return workload.MeasureStateLatency(s.m, s.p, s.st)
+	}, func(ci int, s spec) (sim.Time, error) {
+		return workload.MeasureStateLatencyChecked(s.m, s.p, s.st, o.CheckOn())
 	})
 	if err != nil {
 		return nil, err
@@ -99,11 +99,11 @@ func runF2(o Options) ([]*Table, error) {
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
 		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, s.p)
-	}, func(_ int, s spec) (*workload.Result, error) {
+	}, func(ci int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: s.p, Mode: workload.HighContention,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(),
+			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
 		})
 	})
 	if err != nil {

@@ -52,7 +52,7 @@ func runF19(o Options) ([]*Table, error) {
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
 		return fmt.Sprintf("%s/offered=%v", s.m.Name, s.f)
-	}, func(_ int, s spec) (*workload.Result, error) {
+	}, func(ci int, s spec) (*workload.Result, error) {
 		sat, err := saturation(s.m)
 		if err != nil {
 			return nil, err
@@ -65,7 +65,7 @@ func runF19(o Options) ([]*Table, error) {
 			Mode:     workload.HighContention,
 			OpenLoop: true, OpenLoopInterarrival: inter,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			Metrics: o.MetricsOn(),
+			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
 		})
 	})
 	if err != nil {

@@ -59,12 +59,12 @@ func runF11(o Options) ([]*Table, error) {
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
 		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, s.p.Name())
-	}, func(_ int, s spec) (*workload.Result, error) {
+	}, func(ci int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: atomics.FAA,
 			Mode: workload.HighContention, Placement: s.p,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(),
+			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
 		})
 	})
 	if err != nil {

@@ -54,7 +54,7 @@ func runF20(o Options) ([]*Table, error) {
 			kind = "dist"
 		}
 		return fmt.Sprintf("%s/read=%v/%s", s.m.Name, s.rf, kind)
-	}, func(_ int, s spec) (cell, error) {
+	}, func(ci int, s spec) (cell, error) {
 		var violations func() int
 		build := func(e *sim.Engine, mem *atomics.Memory) apps.App {
 			if s.dist {
@@ -69,7 +69,7 @@ func runF20(o Options) ([]*Table, error) {
 		res, err := apps.Run(apps.RunConfig{
 			Machine: s.m, Threads: threads, Build: build,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			Metrics: o.MetricsOn(),
+			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
 		})
 		if err != nil {
 			return cell{}, err

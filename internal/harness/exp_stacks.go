@@ -51,7 +51,7 @@ func runF18(o Options) ([]*Table, error) {
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
 		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, variants[s.variant])
-	}, func(_ int, s spec) (cell, error) {
+	}, func(ci int, s spec) (cell, error) {
 		var st *apps.EliminationStack
 		build := func(e *sim.Engine, mem *atomics.Memory) apps.App {
 			switch s.variant {
@@ -70,7 +70,7 @@ func runF18(o Options) ([]*Table, error) {
 		res, err := apps.Run(apps.RunConfig{
 			Machine: s.m, Threads: s.n, Build: build,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(),
+			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
 		})
 		if err != nil {
 			return cell{}, err

@@ -44,13 +44,13 @@ func runF22(o Options) ([]*Table, error) {
 			kind = "burst"
 		}
 		return kind + "/" + s.m.Name
-	}, func(_ int, s probe) (cell, error) {
+	}, func(ci int, s probe) (cell, error) {
 		var c cell
 		var err error
 		if s.burst {
 			c.FAANs, c.FenceNs, err = burstThenOrder(s.m)
 		} else {
-			c.LatNs, c.Mops, err = storeWorkload(s.m, o)
+			c.LatNs, c.Mops, err = storeWorkload(s.m, o, ci)
 		}
 		return c, err
 	})
@@ -82,13 +82,14 @@ func cloneWithStoreBuffer(m *machine.Machine, depth int) *machine.Machine {
 }
 
 // storeWorkload measures mean thread-visible store latency (ns) and
-// successful store throughput (Mops) at 16 threads on one line.
-func storeWorkload(m *machine.Machine, o Options) (latNs, mops float64, err error) {
+// successful store throughput (Mops) at 16 threads on one line. ci is
+// the calling cell's index, for fault targeting.
+func storeWorkload(m *machine.Machine, o Options, ci int) (latNs, mops float64, err error) {
 	res, err := workload.Run(workload.Config{
 		Machine: m, Threads: 16, Primitive: atomics.Store,
 		Mode:   workload.HighContention,
 		Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-		Metrics: o.MetricsOn(),
+		Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
 	})
 	if err != nil {
 		return 0, 0, err

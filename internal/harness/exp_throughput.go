@@ -55,11 +55,11 @@ func runF3(o Options) ([]*Table, error) {
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
 		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, s.p)
-	}, func(_ int, s spec) (*workload.Result, error) {
+	}, func(ci int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: s.p, Mode: workload.HighContention,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(),
+			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
 		})
 	})
 	if err != nil {
@@ -102,11 +102,11 @@ func runF4(o Options) ([]*Table, error) {
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
 		return fmt.Sprintf("%s/n=%d", s.m.Name, s.n)
-	}, func(_ int, s spec) (*workload.Result, error) {
+	}, func(ci int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: atomics.CAS, Mode: workload.HighContention,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(),
+			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
 		})
 	})
 	if err != nil {
@@ -167,12 +167,12 @@ func runF8(o Options) ([]*Table, error) {
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
 		return fmt.Sprintf("%s/work=%d", s.m.Name, int64(s.w))
-	}, func(_ int, s spec) (*workload.Result, error) {
+	}, func(ci int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: threads, Primitive: atomics.FAA,
 			Mode: workload.HighContention, LocalWork: s.w,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			Metrics: o.MetricsOn(),
+			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
 		})
 	})
 	if err != nil {
@@ -223,12 +223,12 @@ func runF12(o Options) ([]*Table, error) {
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
 		return fmt.Sprintf("%s/read=%v", s.m.Name, s.rf)
-	}, func(_ int, s spec) (*workload.Result, error) {
+	}, func(ci int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: threads, Primitive: atomics.FAA,
 			Mode: workload.ReadWriteMix, ReadFraction: s.rf,
 			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			Metrics: o.MetricsOn(),
+			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
 		})
 	})
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"atomicsmodel/internal/faults"
 	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/runlog"
 	"atomicsmodel/internal/sim"
@@ -49,24 +50,64 @@ type Options struct {
 	// nil-registry fast path and output is byte-identical to builds
 	// without the observability layer.
 	Metrics *MetricsCollector
+	// Check enables the per-cell coherence/engine invariant checker
+	// (internal/invariant): runners set Config.Check on their workloads,
+	// a violation fails the cell with a deterministic report, and checked
+	// runs get their own cache-key namespace. Off by default; off costs
+	// one nil check per audited site and changes no results.
+	Check bool
+	// Faults is the experiment-level fault-injection plan
+	// (internal/faults); nil injects nothing. Runners derive each cell's
+	// slice with CellFaults. Faulted runs get their own cache-key
+	// namespace so they can never poison a clean run's resume cache.
+	Faults *faults.Plan
+	// CellTimeout, when positive, bounds each cell's wall-clock compute
+	// time: a cell that exceeds it fails with a *CellTimeoutError while
+	// sibling cells finish and reach the manifest and cache — the
+	// watchdog that turns a hung cell into a reported failure instead of
+	// a hung run. The abandoned cell goroutine is orphaned (simulation
+	// cells cannot be preempted) but writes only to a discarded channel.
+	CellTimeout time.Duration
+	// CellRetries, when positive, retries a failed cell up to this many
+	// extra attempts with a short backoff before giving up; exhausted
+	// retries surface as a *CellRetriedError wrapping the last attempt's
+	// error. Zero (the default) preserves exact single-attempt error
+	// semantics.
+	CellRetries int
 }
 
 // MetricsOn reports whether cell metrics collection is enabled; runners
 // forward it into workload.Config.Metrics / apps.RunConfig.Metrics.
 func (o Options) MetricsOn() bool { return o.Metrics != nil }
 
+// CheckOn reports whether invariant checking is enabled; runners
+// forward it into workload.Config.Check / apps.RunConfig.Check.
+func (o Options) CheckOn() bool { return o.Check }
+
+// CellFaults derives cell i's fault plan (nil when no simulation-layer
+// fault targets it); runners forward it into workload.Config.Faults /
+// apps.RunConfig.Faults.
+func (o Options) CellFaults(i int) *faults.CellPlan { return o.Faults.ForCell(i) }
+
 // cellKey turns a runner-local cell key into the cache's full config
 // key: experiment ID plus every base option that changes results (the
 // seed and the Quick sweep trimming; Par never affects results). The
 // per-cell part must itself name the machine and every swept knob.
-// Metrics collection joins the key only when enabled so existing
-// metrics-off caches stay valid and a metrics-on resume never replays a
-// snapshot-less result.
+// Metrics collection, invariant checking, and fault plans join the key
+// only when enabled, so existing plain caches stay valid and a
+// checked/faulted run never shares cache entries with a clean one.
 func (o Options) cellKey(k string) string {
+	base := fmt.Sprintf("%s|seed=%d|quick=%v", o.Exp, o.Seed, o.Quick)
 	if o.Metrics != nil {
-		return fmt.Sprintf("%s|seed=%d|quick=%v|metrics=on|%s", o.Exp, o.Seed, o.Quick, k)
+		base += "|metrics=on"
 	}
-	return fmt.Sprintf("%s|seed=%d|quick=%v|%s", o.Exp, o.Seed, o.Quick, k)
+	if o.Check {
+		base += "|check=on"
+	}
+	if o.Faults != nil {
+		base += "|faults=" + o.Faults.Signature()
+	}
+	return base + "|" + k
 }
 
 func (o Options) machines() []*machine.Machine {

@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -64,6 +65,48 @@ type CellPanicError struct {
 func (e *CellPanicError) Error() string {
 	return fmt.Sprintf("cell %d panicked: %v", e.Cell, e.Value)
 }
+
+// CellTimeoutError reports a cell whose compute closure exceeded
+// Options.CellTimeout. The run degrades gracefully: sibling cells
+// finish and reach the manifest and resume cache, the experiment fails
+// with this error, and the CLI exits nonzero having rendered everything
+// else. The message excludes wall-clock measurements so the manifest
+// record is stable across runs.
+type CellTimeoutError struct {
+	// Cell is the timed-out cell's index.
+	Cell int
+	// Timeout is the configured deadline the cell exceeded.
+	Timeout time.Duration
+}
+
+func (e *CellTimeoutError) Error() string {
+	return fmt.Sprintf("cell %d exceeded its %v watchdog deadline", e.Cell, e.Timeout)
+}
+
+// CellRetriedError reports a cell that failed every attempt under
+// Options.CellRetries. It wraps the final attempt's error (errors.As
+// reaches the underlying *CellPanicError or *CellTimeoutError) and
+// records how many attempts were made, so the manifest distinguishes
+// "failed once" from "failed persistently".
+type CellRetriedError struct {
+	// Cell is the failing cell's index.
+	Cell int
+	// Attempts is the total number of attempts made (1 + retries).
+	Attempts int
+	// Last is the final attempt's error.
+	Last error
+}
+
+func (e *CellRetriedError) Error() string {
+	return fmt.Sprintf("cell %d failed all %d attempts, last: %v", e.Cell, e.Attempts, e.Last)
+}
+
+func (e *CellRetriedError) Unwrap() error { return e.Last }
+
+// cellRetryBackoff is the base backoff between cell retry attempts
+// (attempt k sleeps k × this). It is wall-clock scheduling only and
+// never affects results.
+const cellRetryBackoff = 25 * time.Millisecond
 
 // safeCell runs fn(i), converting a panic into a *CellPanicError.
 func safeCell(i int, fn func(i int) error) (err error) {
@@ -196,17 +239,7 @@ func FanoutKeyed[S, R any](o Options, specs []S, key func(spec S) string, f func
 			}
 		}
 
-		r, err := func() (r R, err error) {
-			// Recover here as well as in RunCells so the panic is
-			// attributed to this cell's key in the manifest; RunCells'
-			// own recover guards direct (un-keyed) callers.
-			defer func() {
-				if p := recover(); p != nil {
-					err = &CellPanicError{Cell: i, Value: p, Stack: string(debug.Stack())}
-				}
-			}()
-			return f(i, specs[i])
-		}()
+		r, err := computeCell(o, i, specs[i], f)
 		if err != nil {
 			o.recordCell(i, k, "", false, start, r, err)
 			return err
@@ -251,6 +284,81 @@ func FanoutKeyed[S, R any](o Options, specs []S, key func(spec S) string, f func
 	return out, nil
 }
 
+// computeCell runs one cell's compute closure under the watchdog and
+// retry policy. Only the compute is guarded — manifest recording and
+// cache writes happen after it returns, so a timed-out cell can never
+// leave a half-written record behind. With CellTimeout and CellRetries
+// both zero this is exactly the old single-attempt panic guard.
+func computeCell[S, R any](o Options, i int, spec S, f func(i int, spec S) (R, error)) (R, error) {
+	var last error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			// Bounded linear backoff before each retry: enough to let a
+			// transient resource squeeze (the usual cause of a wall-clock
+			// timeout) pass, small enough not to dominate the run.
+			time.Sleep(time.Duration(attempt) * cellRetryBackoff)
+		}
+		r, err := guardedCell(o, i, spec, f)
+		if err == nil {
+			return r, nil
+		}
+		last = err
+		if attempt >= o.CellRetries {
+			break
+		}
+	}
+	var zero R
+	if o.CellRetries > 0 {
+		return zero, &CellRetriedError{Cell: i, Attempts: o.CellRetries + 1, Last: last}
+	}
+	return zero, last
+}
+
+// guardedCell runs f(i, spec) once with panic recovery and, when
+// Options.CellTimeout is set, a wall-clock watchdog. The scheduler-layer
+// sleep fault (faults.Plan.CellSleep) fires inside the guarded region,
+// which is how a hung cell is simulated against the watchdog in tests.
+// On timeout the cell goroutine is abandoned; it holds no shared state
+// (cells are isolated by construction) and its only write lands in a
+// channel nobody reads.
+func guardedCell[S, R any](o Options, i int, spec S, f func(i int, spec S) (R, error)) (R, error) {
+	run := func() (r R, err error) {
+		// Recover here as well as in RunCells so the panic is attributed
+		// to this cell's key in the manifest; RunCells' own recover
+		// guards direct (un-keyed) callers.
+		defer func() {
+			if p := recover(); p != nil {
+				err = &CellPanicError{Cell: i, Value: p, Stack: string(debug.Stack())}
+			}
+		}()
+		if d := o.Faults.CellSleep(i); d > 0 {
+			time.Sleep(d)
+		}
+		return f(i, spec)
+	}
+	if o.CellTimeout <= 0 {
+		return run()
+	}
+	type outcome struct {
+		r   R
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		r, err := run()
+		done <- outcome{r, err}
+	}()
+	timer := time.NewTimer(o.CellTimeout)
+	defer timer.Stop()
+	select {
+	case out := <-done:
+		return out.r, out.err
+	case <-timer.C:
+		var zero R
+		return zero, &CellTimeoutError{Cell: i, Timeout: o.CellTimeout}
+	}
+}
+
 // recordCell delivers one completed cell to the observability sinks:
 // its metrics snapshot to the collector (if metrics are enabled and the
 // result carries one) and a structured record to the manifest (if
@@ -288,9 +396,21 @@ func (o Options) recordCell(i int, key, digest string, cached bool, start time.T
 	}
 	if err != nil {
 		rec.Error = err.Error()
-		if pe, ok := err.(*CellPanicError); ok {
+		// errors.As reaches through a *CellRetriedError wrapper, so a
+		// cell that panicked or timed out on every attempt is still
+		// marked with its underlying failure mode.
+		var pe *CellPanicError
+		if errors.As(err, &pe) {
 			rec.Panic = true
 			rec.Stack = pe.Stack
+		}
+		var te *CellTimeoutError
+		if errors.As(err, &te) {
+			rec.TimedOut = true
+		}
+		var re *CellRetriedError
+		if errors.As(err, &re) {
+			rec.Attempts = re.Attempts
 		}
 	}
 	// Manifest write failures must not corrupt results; they surface

@@ -101,6 +101,63 @@ type Machine struct {
 	StoreBufferDepth int
 }
 
+// Validate rejects structurally broken machine descriptions before they
+// reach the simulator, where a zero core count or a negative latency
+// would surface as a confusing panic (or worse, a silently wrong table)
+// deep inside a run. ByName and the workload/apps entry points call it,
+// so hand-built Machines in tests and ablations get the same screening
+// as the presets.
+func (m *Machine) Validate() error {
+	switch {
+	case m.Sockets <= 0:
+		return fmt.Errorf("machine %s: Sockets = %d (want > 0)", m.Name, m.Sockets)
+	case m.CoresPerSocket <= 0:
+		return fmt.Errorf("machine %s: CoresPerSocket = %d (want > 0)", m.Name, m.CoresPerSocket)
+	case m.ThreadsPerCore <= 0:
+		return fmt.Errorf("machine %s: ThreadsPerCore = %d (want > 0)", m.Name, m.ThreadsPerCore)
+	case m.FreqGHz <= 0:
+		return fmt.Errorf("machine %s: FreqGHz = %g (want > 0)", m.Name, m.FreqGHz)
+	case m.Topo == nil:
+		return fmt.Errorf("machine %s: Topo is nil", m.Name)
+	case m.nodeOf == nil:
+		return fmt.Errorf("machine %s: node mapping is nil", m.Name)
+	case m.LinkOccupancy < 0:
+		return fmt.Errorf("machine %s: LinkOccupancy = %v (want >= 0)", m.Name, m.LinkOccupancy)
+	case m.StoreBufferDepth < 0:
+		return fmt.Errorf("machine %s: StoreBufferDepth = %d (want >= 0)", m.Name, m.StoreBufferDepth)
+	}
+	// Zero latencies are legitimate (ExecLoad, or CrossSocketPenalty on a
+	// single-socket part); negative ones would run the simulated clock
+	// backwards.
+	lat := []struct {
+		name string
+		v    sim.Time
+	}{
+		{"L1Hit", m.Lat.L1Hit}, {"DirLookup", m.Lat.DirLookup},
+		{"HopLatency", m.Lat.HopLatency}, {"CrossSocketPenalty", m.Lat.CrossSocketPenalty},
+		{"LLCHit", m.Lat.LLCHit}, {"DRAM", m.Lat.DRAM},
+		{"InvalidateCost", m.Lat.InvalidateCost},
+		{"ExecCAS", m.Lat.ExecCAS}, {"ExecFAA", m.Lat.ExecFAA},
+		{"ExecSWAP", m.Lat.ExecSWAP}, {"ExecTAS", m.Lat.ExecTAS},
+		{"ExecCAS2", m.Lat.ExecCAS2}, {"ExecFence", m.Lat.ExecFence},
+		{"ExecLoad", m.Lat.ExecLoad}, {"ExecStore", m.Lat.ExecStore},
+	}
+	for _, l := range lat {
+		if l.v < 0 {
+			return fmt.Errorf("machine %s: latency %s = %v (want >= 0)", m.Name, l.name, l.v)
+		}
+	}
+	// Every core must map to a real topology node, or hop computations
+	// will index out of range mid-run.
+	nodes := m.Topo.Nodes()
+	for core := 0; core < m.NumCores(); core++ {
+		if n := m.nodeOf(core); n < 0 || n >= nodes {
+			return fmt.Errorf("machine %s: core %d maps to node %d outside [0,%d)", m.Name, core, n, nodes)
+		}
+	}
+	return nil
+}
+
 // NumCores returns the number of physical cores.
 func (m *Machine) NumCores() int { return m.Sockets * m.CoresPerSocket }
 
@@ -309,15 +366,21 @@ func Ideal(cores int) *Machine {
 // ByName returns the machine with the given name ("XeonE5", "KNL", or
 // "Ideal<N>"-style requests resolve to Ideal(8)).
 func ByName(name string) (*Machine, error) {
+	var m *Machine
 	switch name {
 	case "XeonE5", "xeon", "xeone5":
-		return XeonE5(), nil
+		m = XeonE5()
 	case "KNL", "knl":
-		return KNL(), nil
+		m = KNL()
 	case "Ideal", "ideal":
-		return Ideal(8), nil
+		m = Ideal(8)
+	default:
+		return nil, fmt.Errorf("machine: unknown machine %q (want XeonE5, KNL, or Ideal)", name)
 	}
-	return nil, fmt.Errorf("machine: unknown machine %q (want XeonE5, KNL, or Ideal)", name)
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // All returns the machines the paper evaluates.

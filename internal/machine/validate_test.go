@@ -1,0 +1,63 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"atomicsmodel/internal/sim"
+)
+
+func TestValidateAcceptsBuiltins(t *testing.T) {
+	for _, m := range []*Machine{XeonE5(), KNL(), Ideal(1), Ideal(64)} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	for _, name := range []string{"XeonE5", "KNL"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejectsCorruptMachines(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Machine)
+		want   string
+	}{
+		{"zero sockets", func(m *Machine) { m.Sockets = 0 }, "Sockets = 0"},
+		{"negative cores", func(m *Machine) { m.CoresPerSocket = -3 }, "CoresPerSocket = -3"},
+		{"zero threads", func(m *Machine) { m.ThreadsPerCore = 0 }, "ThreadsPerCore = 0"},
+		{"zero frequency", func(m *Machine) { m.FreqGHz = 0 }, "FreqGHz = 0"},
+		{"negative frequency", func(m *Machine) { m.FreqGHz = -2.5 }, "FreqGHz = -2.5"},
+		{"nil topology", func(m *Machine) { m.Topo = nil }, "Topo is nil"},
+		{"nil node map", func(m *Machine) { m.nodeOf = nil }, "node mapping is nil"},
+		{"negative link occupancy", func(m *Machine) { m.LinkOccupancy = -sim.Nanosecond }, "LinkOccupancy"},
+		{"negative store buffer", func(m *Machine) { m.StoreBufferDepth = -1 }, "StoreBufferDepth = -1"},
+		{"negative DRAM latency", func(m *Machine) { m.Lat.DRAM = -sim.Nanosecond }, "latency DRAM"},
+		{"negative exec latency", func(m *Machine) { m.Lat.ExecCAS = -1 }, "latency ExecCAS"},
+		{"core outside topology", func(m *Machine) { m.nodeOf = func(c int) int { return c + 1000 } }, "outside [0,"},
+	}
+	for _, tc := range cases {
+		m := *Ideal(8)
+		tc.mutate(&m)
+		err := m.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateZeroLatenciesAreLegal(t *testing.T) {
+	m := *Ideal(4)
+	m.Lat.ExecLoad = 0
+	m.Lat.CrossSocketPenalty = 0
+	if err := m.Validate(); err != nil {
+		t.Fatalf("zero latencies rejected: %v", err)
+	}
+}

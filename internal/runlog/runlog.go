@@ -71,6 +71,12 @@ type CellRecord struct {
 	Error string `json:"error,omitempty"`
 	Panic bool   `json:"panic,omitempty"`
 	Stack string `json:"stack,omitempty"`
+	// TimedOut marks errors raised by the cell watchdog (the cell
+	// exceeded its wall-clock deadline).
+	TimedOut bool `json:"timed_out,omitempty"`
+	// Attempts is how many times the cell was attempted when retries
+	// were enabled (recorded only when > 1).
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // ExpRecord summarizes one experiment's cells.
@@ -233,27 +239,46 @@ type cacheEntry struct {
 	Value  json.RawMessage `json:"value"`
 }
 
+// Quarantine describes one corrupt cache line that was isolated at load
+// time instead of being trusted: the cell it held is simply recomputed.
+type Quarantine struct {
+	// Line is the 1-based line number in cells.jsonl.
+	Line int
+	// Key is the entry's config key, when it could still be recovered
+	// from the corrupt line (a digest mismatch keeps the key; a torn or
+	// unparseable line usually loses it).
+	Key string
+	// Reason says what was wrong with the line.
+	Reason string
+}
+
 // Cache is the content-keyed cell-result cache. Get and Put are safe
 // for concurrent use. Entries live in memory and are appended to
 // <dir>/cells.jsonl as they are stored; the newest entry for a key
 // wins on load.
 type Cache struct {
-	mu      sync.Mutex
-	f       *os.File
-	w       *bufio.Writer
-	entries map[string]cacheEntry
-	loaded  int
+	mu          sync.Mutex
+	f           *os.File
+	w           *bufio.Writer
+	entries     map[string]cacheEntry
+	loaded      int
+	quarantined []Quarantine
 }
 
 // OpenCache loads any existing cell cache in dir and opens it for
-// appending. A truncated final line (killed run) is skipped; malformed
-// interior lines are an error.
+// appending. Corruption is quarantined rather than fatal: a truncated
+// final line (killed run), an unparseable line (bad disk, editor
+// mishap), and an entry whose stored digest no longer matches its
+// payload (bit rot) are each recorded in Quarantined and excluded from
+// the cache, so the affected cells recompute instead of replaying
+// garbage or crashing the run.
 func OpenCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	path := filepath.Join(dir, cacheFile)
 	entries := map[string]cacheEntry{}
+	var quarantined []Quarantine
 	if b, err := os.ReadFile(path); err == nil {
 		lines := splitLines(b)
 		for i, line := range lines {
@@ -262,10 +287,20 @@ func OpenCache(dir string) (*Cache, error) {
 			}
 			var e cacheEntry
 			if err := json.Unmarshal(line, &e); err != nil {
+				reason := fmt.Sprintf("unparseable entry: %v", err)
 				if i == len(lines)-1 {
-					break // torn final write from a killed run
+					reason = "torn final write (killed run)"
 				}
-				return nil, fmt.Errorf("runlog: %s line %d: %w", cacheFile, i+1, err)
+				quarantined = append(quarantined, Quarantine{Line: i + 1, Reason: reason})
+				continue
+			}
+			if got := Digest(e.Value); got != e.Digest {
+				quarantined = append(quarantined, Quarantine{
+					Line:   i + 1,
+					Key:    e.Key,
+					Reason: fmt.Sprintf("digest mismatch: stored %s, payload hashes to %s", e.Digest, got),
+				})
+				continue
 			}
 			entries[e.Key] = e
 		}
@@ -276,8 +311,13 @@ func OpenCache(dir string) (*Cache, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cache{f: f, w: bufio.NewWriter(f), entries: entries, loaded: len(entries)}, nil
+	return &Cache{f: f, w: bufio.NewWriter(f), entries: entries, loaded: len(entries), quarantined: quarantined}, nil
 }
+
+// Quarantined returns the corrupt lines isolated when the cache was
+// loaded, in file order. Drivers report them so dropped results are
+// visible, not silent.
+func (c *Cache) Quarantined() []Quarantine { return c.quarantined }
 
 // Get returns the cached result and digest for key, if present.
 func (c *Cache) Get(key string) (json.RawMessage, string, bool) {
@@ -344,14 +384,19 @@ func splitLines(b []byte) [][]byte {
 
 // Validate parses a run directory's manifest and cell cache and returns
 // a summary line, or an error describing the first malformed record. It
-// is the check behind `atomicsim -checkmanifest`.
+// is the check behind `atomicsim -checkmanifest`. A torn final manifest
+// line — the normal residue of a killed run — is not an error: the cell
+// being recorded at the kill simply was not recorded, and a resume will
+// recompute it. Interior corruption still fails loudly, and quarantined
+// cache lines are surfaced in the summary.
 func Validate(dir string) (string, error) {
 	b, err := os.ReadFile(filepath.Join(dir, manifestFile))
 	if err != nil {
 		return "", err
 	}
-	var cells, exps, runs, failed int
-	for i, line := range splitLines(b) {
+	var cells, exps, runs, failed, torn int
+	lines := splitLines(b)
+	for i, line := range lines {
 		if len(line) == 0 {
 			continue
 		}
@@ -360,6 +405,10 @@ func Validate(dir string) (string, error) {
 			Error string `json:"error"`
 		}
 		if err := json.Unmarshal(line, &rec); err != nil {
+			if i == len(lines)-1 {
+				torn++
+				continue
+			}
 			return "", fmt.Errorf("runlog: %s line %d: %w", manifestFile, i+1, err)
 		}
 		switch rec.Type {
@@ -384,6 +433,13 @@ func Validate(dir string) (string, error) {
 		return "", err
 	}
 	defer c.Close()
-	return fmt.Sprintf("manifest ok: %d experiments, %d cells (%d failed), %d run summaries; cache: %d cells",
-		exps, cells, failed, runs, c.Len()), nil
+	s := fmt.Sprintf("manifest ok: %d experiments, %d cells (%d failed), %d run summaries; cache: %d cells",
+		exps, cells, failed, runs, c.Len())
+	if torn > 0 {
+		s += "; 1 torn final line (cell not recorded)"
+	}
+	if q := len(c.Quarantined()); q > 0 {
+		s += fmt.Sprintf("; %d cache line(s) quarantined", q)
+	}
+	return s, nil
 }

@@ -133,7 +133,36 @@ type Engine struct {
 	// observability counter (see MaxPending): how bursty the simulated
 	// system's scheduling got. One compare per push keeps it current.
 	maxPending int
+	// perturb, when set, rewrites every relative delay passed to
+	// Schedule (fault injection: internal/faults uses it to jitter
+	// transfer latencies deterministically). Absolute At times are never
+	// perturbed, so measurement-window boundaries stay exact.
+	perturb func(d Time) Time
+	// eventHook, when set, runs before each dequeued event's callback
+	// with the 1-based count of events processed so far. Fault plans use
+	// it to panic a cell at a chosen event count; it must not schedule.
+	eventHook func(processed uint64)
+	// monotone, when set, receives a violation report if a dequeued
+	// event's timestamp precedes the clock — impossible unless the heap
+	// is corrupted, which is exactly what invariant checking looks for.
+	monotone func(err error)
 }
+
+// SetPerturb installs a delay-perturbation hook applied to every
+// Schedule call (nil removes it). The hook must be deterministic for
+// reproducible fault injection; negative results are clamped to zero
+// like any other delay.
+func (e *Engine) SetPerturb(fn func(d Time) Time) { e.perturb = fn }
+
+// SetEventHook installs a per-event hook run before each event's
+// callback with the count of events processed so far, 1-based (nil
+// removes it).
+func (e *Engine) SetEventHook(fn func(processed uint64)) { e.eventHook = fn }
+
+// SetMonotoneCheck installs an event-time monotonicity checker: report
+// is called with a descriptive error if an event is ever dequeued with
+// a timestamp before the current clock (nil removes the check).
+func (e *Engine) SetMonotoneCheck(report func(err error)) { e.monotone = report }
 
 // NewEngine returns an engine with its clock at zero.
 func NewEngine() *Engine { return &Engine{} }
@@ -148,6 +177,9 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // clamped to zero so that callers computing d from latencies never move
 // the clock backwards).
 func (e *Engine) Schedule(d Time, fn func()) {
+	if e.perturb != nil {
+		d = e.perturb(d)
+	}
 	if d < 0 {
 		d = 0
 	}
@@ -188,8 +220,14 @@ func (e *Engine) Run(horizon Time) Time {
 			break
 		}
 		ev := e.queue.pop()
+		if e.monotone != nil && ev.at < e.now {
+			e.monotone(fmt.Errorf("sim: event time moved backwards: dequeued t=%v seq=%d with clock at %v", ev.at, ev.seq, e.now))
+		}
 		e.now = ev.at
 		e.processed++
+		if e.eventHook != nil {
+			e.eventHook(e.processed)
+		}
 		ev.fn()
 	}
 	if e.now < horizon && len(e.queue) == 0 {
@@ -205,8 +243,14 @@ func (e *Engine) Drain() Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
 		ev := e.queue.pop()
+		if e.monotone != nil && ev.at < e.now {
+			e.monotone(fmt.Errorf("sim: event time moved backwards: dequeued t=%v seq=%d with clock at %v", ev.at, ev.seq, e.now))
+		}
 		e.now = ev.at
 		e.processed++
+		if e.eventHook != nil {
+			e.eventHook(e.processed)
+		}
 		ev.fn()
 	}
 	return e.now

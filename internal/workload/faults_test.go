@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/faults"
+	"atomicsmodel/internal/machine"
+)
+
+func resultJSON(t *testing.T, r *Result) string {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestCheckedRunChangesNothing(t *testing.T) {
+	// The invariant checker is a pure observer: a checked run must
+	// produce the exact result an unchecked run does.
+	for _, p := range []atomics.Primitive{atomics.FAA, atomics.CAS} {
+		plain := quickCfg(machine.Ideal(8), p, 4)
+		checked := plain
+		checked.Check = true
+		a, err := Run(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(checked)
+		if err != nil {
+			t.Fatalf("%v: checked run failed: %v", p, err)
+		}
+		if aj, bj := resultJSON(t, a), resultJSON(t, b); aj != bj {
+			t.Fatalf("%v: checked run diverged\nplain:   %s\nchecked: %s", p, aj, bj)
+		}
+	}
+}
+
+func TestJitterFaultIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) string {
+		cfg := quickCfg(machine.Ideal(8), atomics.FAA, 4)
+		cfg.Faults = &faults.CellPlan{Cell: 0, Seed: seed, LatencyJitterPct: 10}
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resultJSON(t, r)
+	}
+	a, b := run(5), run(5)
+	if a != b {
+		t.Fatalf("same fault seed diverged:\n%s\n%s", a, b)
+	}
+	if c := run(6); c == a {
+		t.Fatal("different fault seeds produced identical results")
+	}
+	// And jitter really perturbs the measurement relative to no fault.
+	clean, err := Run(quickCfg(machine.Ideal(8), atomics.FAA, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultJSON(t, clean) == a {
+		t.Fatal("10% latency jitter left the result untouched")
+	}
+}
+
+func TestCASRetryStormDegradesGracefully(t *testing.T) {
+	cfg := quickCfg(machine.Ideal(8), atomics.CAS, 4)
+	cfg.Faults = &faults.CellPlan{Cell: 0, Seed: 1, CASFailFirst: 1 << 40}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("a CAS storm must degrade the numbers, not fail the run: %v", err)
+	}
+	if r.Ops != 0 {
+		t.Fatalf("every CAS was forced to fail, yet %d succeeded", r.Ops)
+	}
+	if r.Failures == 0 {
+		t.Fatal("forced CAS failures were not recorded")
+	}
+	// A checked run under the same storm stays violation-free: forced
+	// failures are legal protocol behavior, just pathological.
+	cfg.Check = true
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("checker flagged a legal (if hostile) CAS storm: %v", err)
+	}
+}
+
+func TestCASFaultStormEndsAfterN(t *testing.T) {
+	cfg := quickCfg(machine.Ideal(8), atomics.CAS, 2)
+	cfg.Faults = &faults.CellPlan{Cell: 0, Seed: 1, CASFailFirst: 3}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops == 0 {
+		t.Fatal("CAS never recovered after the forced-failure budget drained")
+	}
+}
+
+func TestInvalidMachineRejected(t *testing.T) {
+	m := machine.Ideal(8)
+	bad := *m
+	bad.FreqGHz = 0
+	_, err := Run(quickCfg(&bad, atomics.FAA, 2))
+	if err == nil || !strings.Contains(err.Error(), "FreqGHz") {
+		t.Fatalf("zero-frequency machine accepted: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/invariant"
 	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/sim"
 )
@@ -66,10 +67,24 @@ func AllLineStates() []LineState {
 // error for states the machine cannot express (e.g. a cross-socket
 // state on single-socket KNL).
 func MeasureStateLatency(m *machine.Machine, p atomics.Primitive, st LineState) (sim.Time, error) {
+	return MeasureStateLatencyChecked(m, p, st, false)
+}
+
+// MeasureStateLatencyChecked is MeasureStateLatency with an optional
+// invariant checker on the probe's engine and coherence system, so
+// `-check` runs audit the single-op probes too.
+func MeasureStateLatencyChecked(m *machine.Machine, p atomics.Primitive, st LineState, check bool) (sim.Time, error) {
+	if err := m.Validate(); err != nil {
+		return 0, fmt.Errorf("workload: %w", err)
+	}
 	eng := sim.NewEngine()
 	mem, err := atomics.NewMemory(eng, m, nil)
 	if err != nil {
 		return 0, err
+	}
+	var chk *invariant.Checker
+	if check {
+		chk = invariant.Install(eng, mem.System())
 	}
 	const line coherence.LineID = 77
 	measured, sameSocket, otherSocket := 0, m.CoresPerSocket/2, -1
@@ -109,5 +124,10 @@ func MeasureStateLatency(m *machine.Machine, p atomics.Primitive, st LineState) 
 	}
 
 	res := doOp(measured, p)
+	if chk != nil {
+		if err := chk.Finalize(); err != nil {
+			return 0, fmt.Errorf("workload: %w", err)
+		}
+	}
 	return res.Latency, nil
 }

@@ -20,6 +20,8 @@ import (
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/coherence"
 	"atomicsmodel/internal/energy"
+	"atomicsmodel/internal/faults"
+	"atomicsmodel/internal/invariant"
 	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/metrics"
 	"atomicsmodel/internal/sim"
@@ -97,11 +99,22 @@ type Config struct {
 	// over the measured window into Result.Metrics. Off (the default)
 	// costs one nil check per instrumented site and changes no results.
 	Metrics bool
+	// Check installs the online invariant checker (internal/invariant)
+	// on this cell's engine and coherence system; a violation fails the
+	// run with a deterministic report. Off (the default) costs one nil
+	// check per audited site and changes no results.
+	Check bool
+	// Faults is this cell's simulation-layer fault plan
+	// (internal/faults); nil (the default) injects nothing.
+	Faults *faults.CellPlan
 }
 
 func (c *Config) fillDefaults() error {
 	if c.Machine == nil {
 		return fmt.Errorf("workload: Machine is required")
+	}
+	if err := c.Machine.Validate(); err != nil {
+		return fmt.Errorf("workload: %w", err)
 	}
 	if c.Threads <= 0 {
 		return fmt.Errorf("workload: Threads = %d", c.Threads)
@@ -263,6 +276,11 @@ func Run(cfg Config) (*Result, error) {
 		reg = metrics.New()
 	}
 	mem.System().InstallMetrics(reg) // nil registry = off
+	var chk *invariant.Checker
+	if cfg.Check {
+		chk = invariant.Install(eng, mem.System())
+	}
+	cfg.Faults.Install(eng, mem)
 
 	r := &runner{
 		cfg:    cfg,
@@ -330,7 +348,12 @@ func Run(cfg Config) (*Result, error) {
 
 	eng.Run(r.endAt)
 
-	if err := mem.System().CheckInvariants(); err != nil {
+	if chk != nil {
+		// Finalize subsumes CheckInvariants and adds the online ledgers.
+		if err := chk.Finalize(); err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+	} else if err := mem.System().CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("workload: coherence invariant violated: %w", err)
 	}
 
