@@ -58,14 +58,31 @@ const (
 // Machine describes a simulated platform.
 type Machine = machine.Machine
 
+// MachineSpec is the declarative, serializable machine description;
+// MachineSpec.Build is the single constructor every Machine comes from.
+type MachineSpec = machine.Spec
+
 // XeonE5 returns the two-socket Xeon E5 machine description.
 func XeonE5() *Machine { return machine.XeonE5() }
 
 // KNL returns the Xeon Phi Knights Landing machine description.
 func KNL() *Machine { return machine.KNL() }
 
-// MachineByName resolves "XeonE5", "KNL" or "Ideal".
+// MachineByName resolves a registered machine by name or alias
+// (case-insensitive); unknown names produce an error listing every
+// registered machine.
 func MachineByName(name string) (*Machine, error) { return machine.ByName(name) }
+
+// MachineNames returns the canonical names of all registered machines.
+func MachineNames() []string { return machine.Names() }
+
+// ParseMachineSpec decodes a JSON machine spec (strictly: unknown
+// fields are errors).
+func ParseMachineSpec(data []byte) (*MachineSpec, error) { return machine.ParseSpec(data) }
+
+// LoadMachineFile reads, parses and builds a machine from a JSON spec
+// file.
+func LoadMachineFile(path string) (*Machine, error) { return machine.LoadSpecFile(path) }
 
 // Machines returns the machines the paper evaluates.
 func Machines() []*Machine { return machine.All() }

@@ -8,6 +8,8 @@
 //	atomicmodel -machine XeonE5 -primitive FAA -threads 16
 //	atomicmodel -machine KNL -primitive CAS -threads 64 -compare
 //	atomicmodel -machine XeonE5 -primitive FAA -threads 8 -placement scatter -work 200ns
+//	atomicmodel -machines XeonE5,EPYC -primitive FAA -threads 16   # query several machines
+//	atomicmodel -machinefile spec.json -primitive CAS -threads 8   # query a custom spec
 package main
 
 import (
@@ -25,7 +27,9 @@ import (
 
 func main() {
 	var (
-		machName  = flag.String("machine", "XeonE5", "machine: XeonE5 or KNL")
+		machNames = flag.String("machines", "", "comma-separated registered machine names (default: XeonE5)")
+		machAlt   = flag.String("machine", "", "alias for -machines")
+		machFiles = flag.String("machinefile", "", "comma-separated JSON machine spec files to query alongside -machines")
 		primName  = flag.String("primitive", "FAA", "primitive: CAS, FAA, SWAP, TAS, Load, Store")
 		threads   = flag.Int("threads", 8, "number of threads")
 		placeName = flag.String("placement", "compact", "placement: compact, scatter, smt-first, socket-0")
@@ -35,7 +39,17 @@ func main() {
 	)
 	flag.Parse()
 
-	m, err := machine.ByName(*machName)
+	names := *machNames
+	if *machAlt != "" {
+		if names != "" {
+			names += ","
+		}
+		names += *machAlt
+	}
+	if names == "" && *machFiles == "" {
+		names = "XeonE5"
+	}
+	machines, err := machine.Select(names, *machFiles)
 	if err != nil {
 		fatal(err)
 	}
@@ -53,11 +67,22 @@ func main() {
 	}
 	work := sim.Time(workDur.Nanoseconds()) * sim.Nanosecond
 
-	slots, err := pl.Place(m, *threads)
+	for i, m := range machines {
+		if i > 0 {
+			fmt.Println()
+		}
+		query(m, p, pl, work, workDur, *threads, *compare, *lowMode)
+	}
+}
+
+// query prints the model's answer (and optionally the simulator's) for
+// one machine; atomicmodel repeats it per selected machine.
+func query(m *machine.Machine, p atomics.Primitive, pl machine.Placement, work sim.Time, workDur time.Duration, threads int, compare, lowMode bool) {
+	slots, err := pl.Place(m, threads)
 	if err != nil {
 		fatal(err)
 	}
-	cores := make([]int, *threads)
+	cores := make([]int, threads)
 	for i, s := range slots {
 		cores[i] = m.CoreOf(s)
 	}
@@ -69,13 +94,13 @@ func main() {
 	}
 
 	fmt.Printf("machine:    %s\n", m)
-	fmt.Printf("primitive:  %s, threads: %d, placement: %s, work: %v\n", p, *threads, pl.Name(), workDur)
+	fmt.Printf("primitive:  %s, threads: %d, placement: %s, work: %v\n", p, threads, pl.Name(), workDur)
 	fmt.Printf("calibrated: %s\n\n", cal)
 
 	var pd, ps core.Prediction
-	if *lowMode {
-		pd = det.PredictLow(p, *threads, work)
-		ps = simple.PredictLow(p, *threads, work)
+	if lowMode {
+		pd = det.PredictLow(p, threads, work)
+		ps = simple.PredictLow(p, threads, work)
 	} else {
 		pd = det.PredictHigh(p, cores, work)
 		ps = simple.PredictHigh(p, cores, work)
@@ -83,13 +108,13 @@ func main() {
 	printPred("detailed model", pd)
 	printPred("simple model", ps)
 
-	if *compare {
+	if compare {
 		mode := workload.HighContention
-		if *lowMode {
+		if lowMode {
 			mode = workload.LowContention
 		}
 		res, err := workload.Run(workload.Config{
-			Machine: m, Threads: *threads, Primitive: p, Mode: mode,
+			Machine: m, Threads: threads, Primitive: p, Mode: mode,
 			Placement: pl, LocalWork: work,
 			Warmup: 25 * sim.Microsecond, Duration: 400 * sim.Microsecond, Seed: 42,
 		})

@@ -5,7 +5,8 @@
 //
 //	atomicsim                     # run every experiment on both machines
 //	atomicsim -exp F3             # one experiment
-//	atomicsim -machine KNL        # restrict the machine
+//	atomicsim -machines KNL,EPYC  # restrict/extend the machine list
+//	atomicsim -machinefile m.json # add a machine from a JSON spec file
 //	atomicsim -quick              # trimmed sweeps for a fast look
 //	atomicsim -par 4              # cap concurrent simulation cells
 //	atomicsim -csv results/       # additionally write one CSV per table
@@ -39,7 +40,9 @@ import (
 func main() {
 	var (
 		expID   = flag.String("exp", "", "comma-separated experiment IDs to run (default: all)")
-		machs   = flag.String("machine", "", "comma-separated machines: XeonE5,KNL (default: both)")
+		machs   = flag.String("machines", "", "comma-separated registered machine names (default: the paper pair; see -machines list on a bad name)")
+		machAlt = flag.String("machine", "", "alias for -machines")
+		machFil = flag.String("machinefile", "", "comma-separated JSON machine spec files to run alongside -machines")
 		quick   = flag.Bool("quick", false, "trimmed sweeps and shorter simulated durations")
 		seed    = flag.Uint64("seed", 42, "base random seed")
 		par     = flag.Int("par", runtime.NumCPU(), "max concurrent simulation cells (results are identical for any value)")
@@ -116,14 +119,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "resume: %d cached cells loaded from %s\n", opts.Cache.Loaded(), *resumeDir)
 		}
 	}
-	if *machs != "" {
-		for _, name := range strings.Split(*machs, ",") {
-			m, err := machine.ByName(strings.TrimSpace(name))
-			if err != nil {
-				fatal(err)
-			}
-			opts.Machines = append(opts.Machines, m)
+	names := *machs
+	if *machAlt != "" {
+		if names != "" {
+			names += ","
 		}
+		names += *machAlt
+	}
+	if names != "" || *machFil != "" {
+		ms, err := machine.Select(names, *machFil)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Machines = ms
 	}
 
 	var exps []*harness.Experiment

@@ -14,12 +14,19 @@
 //	atomictrace -machine KNL -primitive CAS -threads 16 -ops 500 > trace.csv
 //	atomictrace -arbiter locality -threads 16          # watch a monopoly form
 //	atomictrace -threads 8 -chrome trace.json          # timeline for Perfetto
+//	atomictrace -machines XeonE5,KNL -threads 8        # several machines, one CSV
+//	atomictrace -machinefile spec.json -threads 8      # trace a custom spec
+//
+// With more than one machine selected, each machine's CSV section is
+// preceded by a "# machine <name>" comment line, and -chrome writes one
+// file per machine (the machine name is inserted before the extension).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/coherence"
@@ -30,16 +37,28 @@ import (
 
 func main() {
 	var (
-		machName = flag.String("machine", "XeonE5", "machine: XeonE5 or KNL")
-		primName = flag.String("primitive", "FAA", "primitive to trace")
-		threads  = flag.Int("threads", 8, "number of contending threads")
-		ops      = flag.Int("ops", 200, "operations per thread to trace")
-		arbName  = flag.String("arbiter", "fifo", "line arbitration: fifo, random, locality")
-		chrome   = flag.String("chrome", "", "also write a Chrome trace_event JSON timeline to this file (view in chrome://tracing or Perfetto)")
+		machNames = flag.String("machines", "", "comma-separated registered machine names (default: XeonE5)")
+		machAlt   = flag.String("machine", "", "alias for -machines")
+		machFiles = flag.String("machinefile", "", "comma-separated JSON machine spec files to trace alongside -machines")
+		primName  = flag.String("primitive", "FAA", "primitive to trace")
+		threads   = flag.Int("threads", 8, "number of contending threads")
+		ops       = flag.Int("ops", 200, "operations per thread to trace")
+		arbName   = flag.String("arbiter", "fifo", "line arbitration: fifo, random, locality")
+		chrome    = flag.String("chrome", "", "also write a Chrome trace_event JSON timeline to this file (view in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
-	m, err := machine.ByName(*machName)
+	names := *machNames
+	if *machAlt != "" {
+		if names != "" {
+			names += ","
+		}
+		names += *machAlt
+	}
+	if names == "" && *machFiles == "" {
+		names = "XeonE5"
+	}
+	machines, err := machine.Select(names, *machFiles)
 	if err != nil {
 		fatal(err)
 	}
@@ -47,8 +66,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	for _, m := range machines {
+		chromeFile := *chrome
+		if chromeFile != "" && len(machines) > 1 {
+			ext := filepath.Ext(chromeFile)
+			chromeFile = chromeFile[:len(chromeFile)-len(ext)] + "." + m.Name + ext
+		}
+		if len(machines) > 1 {
+			fmt.Printf("# machine %s\n", m.Name)
+		}
+		traceMachine(m, p, *threads, *ops, *arbName, chromeFile)
+	}
+}
+
+// traceMachine runs one contended trace on m and writes its CSV,
+// summary, and optional Chrome timeline; atomictrace repeats it per
+// selected machine.
+func traceMachine(m *machine.Machine, p atomics.Primitive, threads, ops int, arbName, chrome string) {
 	var arb coherence.Arbiter
-	switch *arbName {
+	switch arbName {
 	case "fifo":
 		arb = coherence.FIFOArbiter{}
 	case "random":
@@ -56,9 +92,9 @@ func main() {
 	case "locality":
 		arb = &coherence.LocalityArbiter{}
 	default:
-		fatal(fmt.Errorf("unknown arbiter %q", *arbName))
+		fatal(fmt.Errorf("unknown arbiter %q", arbName))
 	}
-	slots, err := (machine.Compact{}).Place(m, *threads)
+	slots, err := (machine.Compact{}).Place(m, threads)
 	if err != nil {
 		fatal(err)
 	}
@@ -74,7 +110,7 @@ func main() {
 	mem.System().SetTracer(rec.Observe)
 
 	rng := sim.NewRNG(42)
-	for i := 0; i < *threads; i++ {
+	for i := 0; i < threads; i++ {
 		core := m.CoreOf(slots[i])
 		var issue func(remaining int)
 		issue = func(remaining int) {
@@ -83,7 +119,7 @@ func main() {
 			}
 			mem.Do(p, core, hot, 1, 2, func(atomics.Result) { issue(remaining - 1) })
 		}
-		left := *ops
+		left := ops
 		eng.Schedule(rng.Duration(10*sim.Nanosecond), func() { issue(left) })
 	}
 	eng.Drain()
@@ -92,8 +128,8 @@ func main() {
 		fatal(err)
 	}
 
-	if *chrome != "" {
-		f, err := os.Create(*chrome)
+	if chrome != "" {
+		f, err := os.Create(chrome)
 		if err != nil {
 			fatal(err)
 		}
@@ -104,7 +140,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *chrome)
+		fmt.Fprintf(os.Stderr, "wrote %s (open in chrome://tracing or https://ui.perfetto.dev)\n", chrome)
 	}
 
 	s := rec.Summarize()

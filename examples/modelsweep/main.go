@@ -5,18 +5,44 @@
 // further simulation or measurement. This is the paper's pitch: once
 // calibrated, algorithmic design decisions come from arithmetic.
 //
-//	go run ./examples/modelsweep
+//	go run ./examples/modelsweep                             # the paper pair
+//	go run ./examples/modelsweep EPYC XeonSP                 # registered machines
+//	go run ./examples/modelsweep examples/machines/epyc.json # spec files
+//
+// Arguments name registered machines or point at JSON machine spec
+// files (anything ending in .json is loaded as a spec).
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
+	"strings"
 
 	"atomicsmodel"
 )
 
 func main() {
-	for _, m := range atomicsmodel.Machines() {
+	machines := atomicsmodel.Machines()
+	if args := os.Args[1:]; len(args) > 0 {
+		machines = machines[:0]
+		for _, arg := range args {
+			var (
+				m   *atomicsmodel.Machine
+				err error
+			)
+			if strings.HasSuffix(arg, ".json") {
+				m, err = atomicsmodel.LoadMachineFile(arg)
+			} else {
+				m, err = atomicsmodel.MachineByName(arg)
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			machines = append(machines, m)
+		}
+	}
+	for _, m := range machines {
 		simple, cal, err := atomicsmodel.CalibrateModel(m)
 		if err != nil {
 			log.Fatal(err)

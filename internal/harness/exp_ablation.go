@@ -65,7 +65,7 @@ func runF13(o Options) ([]*Table, error) {
 		}
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, arbs[s.arb].name)
+		return fmt.Sprintf("%s/n=%d/%s", s.m.Key(), s.n, arbs[s.arb].name)
 	}, func(ci int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: atomics.FAA,
@@ -132,7 +132,7 @@ func runF14(o Options) ([]*Table, error) {
 		latMachines = append(latMachines, p.base, p.mesif)
 	}
 	lats, err := FanoutKeyed(o, latMachines, func(m *machine.Machine) string {
-		return "sharedlat/" + m.Name
+		return "sharedlat/" + m.Key()
 	}, func(_ int, m *machine.Machine) (sim.Time, error) {
 		return sharedReadLatency(m)
 	})
@@ -151,7 +151,7 @@ func runF14(o Options) ([]*Table, error) {
 		}
 	}
 	mixes, err := FanoutKeyed(o, mixSpecs, func(s mixSpec) string {
-		return fmt.Sprintf("mix/%s/read=%v", s.m.Name, s.rf)
+		return fmt.Sprintf("mix/%s/read=%v", s.m.Key(), s.rf)
 	}, func(ci int, s mixSpec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: 16, Primitive: atomics.FAA,
@@ -175,7 +175,7 @@ func runF14(o Options) ([]*Table, error) {
 		topoMachines = append(topoMachines, m)
 	}
 	topoRes, err := FanoutKeyed(o, topoMachines, func(m *machine.Machine) string {
-		return "topo/" + m.Name
+		return "topo/" + m.Key()
 	}, func(ci int, m *machine.Machine) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: m, Threads: 16, Primitive: atomics.FAA, Mode: workload.HighContention,
@@ -279,7 +279,7 @@ func runF15(o Options) ([]*Table, error) {
 		}
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/stripes=%d/reads=%v", s.m.Name, s.stripes, s.reads)
+		return fmt.Sprintf("%s/stripes=%d/reads=%v", s.m.Key(), s.stripes, s.reads)
 	}, func(ci int, s spec) (*apps.RunResult, error) {
 		return apps.Run(apps.RunConfig{
 			Machine: s.m, Threads: threads,

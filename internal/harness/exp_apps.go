@@ -44,7 +44,7 @@ func runF9(o Options) ([]*Table, error) {
 		if s.cas {
 			kind = "cas"
 		}
-		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, kind)
+		return fmt.Sprintf("%s/n=%d/%s", s.m.Key(), s.n, kind)
 	}, func(ci int, s spec) (*apps.RunResult, error) {
 		build := func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewFAACounter(mem) }
 		if s.cas {
@@ -137,7 +137,7 @@ func runF10(o Options) ([]*Table, error) {
 		}
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, buildersFor(s.m)[s.b].name)
+		return fmt.Sprintf("%s/n=%d/%s", s.m.Key(), s.n, buildersFor(s.m)[s.b].name)
 	}, func(ci int, s spec) (*apps.RunResult, error) {
 		return apps.Run(apps.RunConfig{
 			Machine: s.m, Threads: s.n, Build: buildersFor(s.m)[s.b].mk,

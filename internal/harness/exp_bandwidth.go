@@ -43,7 +43,7 @@ func runF16(o Options) ([]*Table, error) {
 		}
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/occ=%v", s.base.Name, s.occ)
+		return fmt.Sprintf("%s/occ=%v", s.base.Key(), s.occ)
 	}, func(ci int, s spec) (cell, error) {
 		m := *s.base
 		m.LinkOccupancy = m.Cycles(s.occ)

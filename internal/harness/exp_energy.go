@@ -43,7 +43,7 @@ func runF6(o Options) ([]*Table, error) {
 		}
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/n=%d/%s-%s", s.m.Name, s.n, cells[s.c].p, cells[s.c].mode)
+		return fmt.Sprintf("%s/n=%d/%s-%s", s.m.Key(), s.n, cells[s.c].p, cells[s.c].mode)
 	}, func(ci int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: cells[s.c].p, Mode: cells[s.c].mode,

@@ -53,7 +53,7 @@ func runF5(o Options) ([]*Table, error) {
 		if s.arb < len(arbs) {
 			name = "faa-" + arbs[s.arb].name
 		}
-		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, name)
+		return fmt.Sprintf("%s/n=%d/%s", s.m.Key(), s.n, name)
 	}, func(ci int, s spec) (*workload.Result, error) {
 		if s.arb == len(arbs) {
 			return workload.Run(workload.Config{

@@ -50,7 +50,7 @@ func runF1(o Options) ([]*Table, error) {
 		}
 	}
 	lats, err := FanoutKeyed(o, specs, func(s spec) string {
-		return s.m.Name + "/" + s.p.String() + "/" + s.st.String()
+		return s.m.Key() + "/" + s.p.String() + "/" + s.st.String()
 	}, func(ci int, s spec) (sim.Time, error) {
 		return workload.MeasureStateLatencyChecked(s.m, s.p, s.st, o.CheckOn())
 	})
@@ -98,7 +98,7 @@ func runF2(o Options) ([]*Table, error) {
 		}
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, s.p)
+		return fmt.Sprintf("%s/n=%d/%s", s.m.Key(), s.n, s.p)
 	}, func(ci int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: s.p, Mode: workload.HighContention,

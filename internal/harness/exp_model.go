@@ -43,7 +43,7 @@ func runF7(o Options) ([]*Table, error) {
 		}
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/%s/n=%d", s.m.Name, s.p, s.n)
+		return fmt.Sprintf("%s/%s/n=%d", s.m.Key(), s.p, s.n)
 	}, func(ci int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: s.p, Mode: workload.HighContention,

@@ -51,7 +51,7 @@ func runF19(o Options) ([]*Table, error) {
 		}
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/offered=%v", s.m.Name, s.f)
+		return fmt.Sprintf("%s/offered=%v", s.m.Key(), s.f)
 	}, func(ci int, s spec) (*workload.Result, error) {
 		sat, err := saturation(s.m)
 		if err != nil {

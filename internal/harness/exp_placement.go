@@ -58,7 +58,7 @@ func runF11(o Options) ([]*Table, error) {
 		}
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, s.p.Name())
+		return fmt.Sprintf("%s/n=%d/%s", s.m.Key(), s.n, s.p.Name())
 	}, func(ci int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: atomics.FAA,

@@ -53,7 +53,7 @@ func runF20(o Options) ([]*Table, error) {
 		if s.dist {
 			kind = "dist"
 		}
-		return fmt.Sprintf("%s/read=%v/%s", s.m.Name, s.rf, kind)
+		return fmt.Sprintf("%s/read=%v/%s", s.m.Key(), s.rf, kind)
 	}, func(ci int, s spec) (cell, error) {
 		var violations func() int
 		build := func(e *sim.Engine, mem *atomics.Memory) apps.App {

@@ -50,7 +50,7 @@ func runF18(o Options) ([]*Table, error) {
 		}
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, variants[s.variant])
+		return fmt.Sprintf("%s/n=%d/%s", s.m.Key(), s.n, variants[s.variant])
 	}, func(ci int, s spec) (cell, error) {
 		var st *apps.EliminationStack
 		build := func(e *sim.Engine, mem *atomics.Memory) apps.App {

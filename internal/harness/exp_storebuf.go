@@ -43,7 +43,7 @@ func runF22(o Options) ([]*Table, error) {
 		if s.burst {
 			kind = "burst"
 		}
-		return kind + "/" + s.m.Name
+		return kind + "/" + s.m.Key()
 	}, func(ci int, s probe) (cell, error) {
 		var c cell
 		var err error

@@ -43,7 +43,7 @@ func runF21(o Options) ([]*Table, error) {
 		}
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return s.m.Name + "/" + arbs[s.arb].name
+		return s.m.Key() + "/" + arbs[s.arb].name
 	}, func(ci int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: threads, Primitive: atomics.FAA,

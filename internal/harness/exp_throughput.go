@@ -54,7 +54,7 @@ func runF3(o Options) ([]*Table, error) {
 		}
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/n=%d/%s", s.m.Name, s.n, s.p)
+		return fmt.Sprintf("%s/n=%d/%s", s.m.Key(), s.n, s.p)
 	}, func(ci int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: s.p, Mode: workload.HighContention,
@@ -101,7 +101,7 @@ func runF4(o Options) ([]*Table, error) {
 		}
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/n=%d", s.m.Name, s.n)
+		return fmt.Sprintf("%s/n=%d", s.m.Key(), s.n)
 	}, func(ci int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: s.n, Primitive: atomics.CAS, Mode: workload.HighContention,
@@ -166,7 +166,7 @@ func runF8(o Options) ([]*Table, error) {
 		}
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/work=%d", s.m.Name, int64(s.w))
+		return fmt.Sprintf("%s/work=%d", s.m.Key(), int64(s.w))
 	}, func(ci int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: threads, Primitive: atomics.FAA,
@@ -222,7 +222,7 @@ func runF12(o Options) ([]*Table, error) {
 		}
 	}
 	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/read=%v", s.m.Name, s.rf)
+		return fmt.Sprintf("%s/read=%v", s.m.Key(), s.rf)
 	}, func(ci int, s spec) (*workload.Result, error) {
 		return workload.Run(workload.Config{
 			Machine: s.m, Threads: threads, Primitive: atomics.FAA,

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"time"
@@ -92,7 +93,10 @@ func (o Options) CellFaults(i int) *faults.CellPlan { return o.Faults.ForCell(i)
 // cellKey turns a runner-local cell key into the cache's full config
 // key: experiment ID plus every base option that changes results (the
 // seed and the Quick sweep trimming; Par never affects results). The
-// per-cell part must itself name the machine and every swept knob.
+// per-cell part must itself identify the machine and every swept knob;
+// runners use machine.Key() — "Name@digest" for spec-built machines —
+// so a custom spec that reuses a preset's name, or a spec edited
+// between a crash and its resume, occupies its own cache namespace.
 // Metrics collection, invariant checking, and fault plans join the key
 // only when enabled, so existing plain caches stay valid and a
 // checked/faulted run never shares cache entries with a clean one.
@@ -144,7 +148,15 @@ func (o Options) threadSweep(m *machine.Machine) []int {
 		case "KNL":
 			pts = []int{1, 2, 4, 8, 16, 32, 48, 64, 128, 256}
 		default:
-			pts = []int{1, 2, 4, 8}
+			// Custom machines (spec files) get powers of two up to the
+			// hardware-thread count, plus the physical-core count and the
+			// full machine — the knees the paper's sweeps always include.
+			for n := 1; n <= m.NumHWThreads(); n *= 2 {
+				pts = append(pts, n)
+			}
+			pts = append(pts, m.NumCores(), m.NumHWThreads())
+			sort.Ints(pts)
+			pts = slices.Compact(pts)
 		}
 	}
 	out := pts[:0:0]

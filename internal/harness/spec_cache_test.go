@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"testing"
+
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/runlog"
+)
+
+// TestCustomSpecDistinctCacheNamespace is the acceptance test for
+// digest-based cell keys: a custom machine spec that reuses a preset's
+// name must land in its own resume-cache namespace. A crashed run on
+// the preset, resumed with a same-named but differently parameterized
+// spec, must recompute every cell — and a second resume with the real
+// preset must replay all of them.
+func TestCustomSpecDistinctCacheNamespace(t *testing.T) {
+	dir := t.TempDir()
+	preset := machine.XeonE5()
+
+	spec, err := machine.SpecByName("XeonE5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.FreqGHz = 2.6 // same name, different content
+	custom, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if custom.Name != preset.Name {
+		t.Fatalf("test premise broken: names differ (%s vs %s)", custom.Name, preset.Name)
+	}
+	if custom.Key() == preset.Key() {
+		t.Fatalf("same-named custom spec shares cache key %s with the preset", custom.Key())
+	}
+
+	exp, err := ByID("F1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(m *machine.Machine, resume bool) (cells, cached int) {
+		open := runlog.Create
+		if resume {
+			open = runlog.Append
+		}
+		w, err := open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := runlog.OpenCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := Options{Machines: []*machine.Machine{m}, Quick: true, Seed: 42, Par: 4}
+		o.Manifest, o.Cache = w, c
+		if _, err := RunExperiment(exp, o); err != nil {
+			t.Fatal(err)
+		}
+		cells, cached, failed := w.Totals()
+		if failed != 0 {
+			t.Fatalf("%d failed cells", failed)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return cells, cached
+	}
+
+	cells, cached := run(preset, false)
+	if cells == 0 || cached != 0 {
+		t.Fatalf("seed run: cells=%d cached=%d", cells, cached)
+	}
+	// Same-named custom spec: zero cache hits allowed.
+	if _, cached := run(custom, true); cached != 0 {
+		t.Fatalf("custom spec replayed %d preset cells from cache", cached)
+	}
+	// The preset again: every cell replays.
+	if cells2, cached := run(preset, true); cached != cells2 || cells2 != cells {
+		t.Fatalf("preset resume: cells=%d cached=%d, want all %d cached", cells2, cached, cells)
+	}
+	// And the custom spec again: its own cells replay too.
+	if cells3, cached := run(custom, true); cached != cells3 {
+		t.Fatalf("custom resume: cells=%d cached=%d, want all cached", cells3, cached)
+	}
+}

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"atomicsmodel/internal/machine"
+)
+
+// TestQuickSweepGolden renders the full -quick experiment suite per
+// paper machine exactly the way `atomicsim -quick -quiet -machines <M>`
+// prints it and compares byte-for-byte against a golden file captured
+// before machines became declarative specs. This is the regression
+// gate for the whole refactor: spec-built machines must reproduce the
+// legacy constructors' tables to the byte, across every experiment.
+//
+// To regenerate after an intentional change:
+//
+//	go run ./cmd/atomicsim -quick -quiet -machines XeonE5 > internal/harness/testdata/quick_sweep_xeone5.golden
+//	go run ./cmd/atomicsim -quick -quiet -machines KNL   > internal/harness/testdata/quick_sweep_knl.golden
+func TestQuickSweepGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite twice")
+	}
+	for _, tc := range []struct {
+		name   string
+		golden string
+	}{
+		{"XeonE5", "quick_sweep_xeone5.golden"},
+		{"KNL", "quick_sweep_knl.golden"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			m, err := machine.ByName(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			for _, e := range All() {
+				fmt.Fprintf(&sb, "== %s: %s\n   claim: %s\n\n", e.ID, e.Title, e.Claim)
+				tables, err := RunExperiment(e, Options{
+					Machines: []*machine.Machine{m}, Quick: true, Seed: 42, Par: 8,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", e.ID, err)
+				}
+				for _, tb := range tables {
+					if err := tb.Render(&sb); err != nil {
+						t.Fatal(err)
+					}
+					sb.WriteString("\n")
+				}
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := sb.String()
+			if got != string(want) {
+				t.Fatalf("quick sweep for %s differs from golden %s (len %d vs %d); "+
+					"first divergence at byte %d:\n...%s...",
+					tc.name, tc.golden, len(got), len(want), diverge(got, string(want)),
+					context(got, diverge(got, string(want))))
+			}
+		})
+	}
+}
+
+func diverge(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func context(s string, at int) string {
+	lo, hi := at-80, at+80
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return s[lo:hi]
+}

@@ -1,21 +1,30 @@
-// Package machine describes the two architectures the paper evaluates —
-// a two-socket Intel Xeon E5 and an Intel Xeon Phi (Knights Landing) —
-// as parameter tables for the coherence simulator: core/socket/SMT
-// layout, interconnect topology, latency constants, per-primitive
-// execution costs, and a power/energy table.
+// Package machine describes simulated architectures as parameter
+// tables for the coherence simulator: core/socket/SMT layout,
+// interconnect topology, latency constants, per-primitive execution
+// costs, and a power/energy table.
 //
-// The latency constants are calibrated against publicly reported
-// numbers for these parts (L1 ≈ 4 cycles; Xeon same-socket cache-to-
-// cache ≈ 25 ns, cross-socket ≈ 90–130 ns; KNL tile-to-tile ≈ 100–150
-// ns; locked RMW ≈ 20 cycles on an owned line on Xeon, considerably
-// slower on KNL). The reproduction targets the *shape* of the paper's
-// results; DESIGN.md records this substitution.
+// Machines are declarative: every built-in — the paper's two-socket
+// Intel Xeon E5 and Intel Xeon Phi (Knights Landing), plus an
+// EPYC-like chiplet part and a mesh-uncore Xeon Scalable — is a JSON
+// Spec embedded in this package (specs/*.json) and built by
+// Spec.Build, the single constructor. A user-supplied spec file
+// (LoadSpecFile, the CLIs' -machinefile flag) is a first-class machine
+// with exactly the powers of a preset. ByName resolves presets from
+// the registry; a Machine carries its spec's digest (Key) so harness
+// resume caches distinguish machines by content, not by name.
+//
+// The preset latency constants are calibrated against publicly
+// reported numbers for the real parts (L1 ≈ 4 cycles; Xeon
+// same-socket cache-to-cache ≈ 25 ns, cross-socket ≈ 90–130 ns; KNL
+// tile-to-tile ≈ 100–150 ns; locked RMW ≈ 20 cycles on an owned line
+// on Xeon, considerably slower on KNL). The reproduction targets the
+// *shape* of the paper's results; DESIGN.md records this substitution.
 //
 // In the model pipeline (ARCHITECTURE.md) these tables are the single
 // source of truth both consumers read: CoherenceParams configures the
 // simulator, and the same constants parameterize the analytical model
 // (internal/core). ARCHITECTURE.md, "How do I add a new machine",
-// covers extending this package.
+// covers writing a spec.
 package machine
 
 import (
@@ -53,21 +62,22 @@ type Latencies struct {
 // Energies is the per-event energy table (nanojoules) plus static power
 // (watts) used by the energy meter. Only relative magnitudes matter for
 // reproducing the paper's energy figures.
+// The JSON tags are the field names machine spec files use.
 type Energies struct {
 	// StaticWattsPerCore models leakage and uncore power amortized per
 	// active core; it accrues for every placed thread's core over the
 	// whole run.
-	StaticWattsPerCore float64
+	StaticWattsPerCore float64 `json:"staticWattsPerCore"`
 	// ActiveWattsPerThread accrues while a thread exists (spinning
 	// threads burn power even when making no progress — the effect
 	// behind rising J/op under contention).
-	ActiveWattsPerThread float64
+	ActiveWattsPerThread float64 `json:"activeWattsPerThread"`
 	// Dynamic per-event energies in nanojoules.
-	LocalOpNJ     float64
-	PerHopNJ      float64
-	CrossSocketNJ float64
-	LLCNJ         float64
-	DRAMNJ        float64
+	LocalOpNJ     float64 `json:"localOpNJ"`
+	PerHopNJ      float64 `json:"perHopNJ"`
+	CrossSocketNJ float64 `json:"crossSocketNJ"`
+	LLCNJ         float64 `json:"llcNJ"`
+	DRAMNJ        float64 `json:"dramNJ"`
 }
 
 // Machine is a complete description of a simulated platform.
@@ -99,6 +109,28 @@ type Machine struct {
 	// synchronous stores; the store-buffer ablation sets the Haswell-
 	// class depth of 42.
 	StoreBufferDepth int
+	// digest is the short content digest of the Spec this machine was
+	// built from (empty for hand-assembled machines in tests and
+	// ablations). It is the content half of Key.
+	digest string
+}
+
+// SpecDigest returns the content digest of the spec this machine was
+// built from, or "" for a machine assembled by hand rather than by
+// Spec.Build.
+func (m *Machine) SpecDigest() string { return m.digest }
+
+// Key returns the machine's cache identity, "Name@digest" for
+// spec-built machines and plain Name otherwise. Harness cell cache
+// keys use Key instead of Name so a custom spec that reuses a preset's
+// name — or a spec edited between a crash and its resume — occupies
+// its own cache namespace instead of replaying the other machine's
+// cells.
+func (m *Machine) Key() string {
+	if m.digest == "" {
+		return m.Name
+	}
+	return m.Name + "@" + m.digest
 }
 
 // Validate rejects structurally broken machine descriptions before they
@@ -215,173 +247,6 @@ func (m *Machine) String() string {
 		m.Name, m.Sockets, m.CoresPerSocket, m.ThreadsPerCore, m.FreqGHz, m.Topo.Name())
 }
 
-// XeonE5 returns a two-socket Xeon E5 v4-class description: 2×18 cores,
-// 2-way SMT, 2.4 GHz, each socket a bidirectional ring, sockets joined
-// by a QPI-like link.
-func XeonE5() *Machine {
-	m := &Machine{
-		Name:           "XeonE5",
-		Sockets:        2,
-		CoresPerSocket: 18,
-		ThreadsPerCore: 2,
-		FreqGHz:        2.4,
-		Topo:           topology.NewDualRing(18, 2),
-	}
-	m.nodeOf = func(core int) int { return core } // one ring stop per core
-	m.Lat = Latencies{
-		L1Hit:              m.Cycles(4),   // ~1.7 ns
-		DirLookup:          m.Cycles(19),  // ~8 ns CHA/home agent
-		HopLatency:         m.Cycles(3),   // ~1.25 ns per ring hop
-		CrossSocketPenalty: m.Cycles(144), // ~60 ns QPI serialization
-		LLCHit:             m.Cycles(53),  // ~22 ns slice access
-		DRAM:               m.Cycles(180), // ~75 ns on top of the trip
-		InvalidateCost:     m.Cycles(24),  // ~10 ns ack collection
-		ExecCAS:            m.Cycles(19),  // lock cmpxchg ≈ 23 cyc total w/ L1
-		ExecFAA:            m.Cycles(17),  // lock xadd ≈ 21 cyc total
-		ExecSWAP:           m.Cycles(17),  // xchg has an implicit lock
-		ExecTAS:            m.Cycles(16),  // lock bts
-		ExecCAS2:           m.Cycles(25),  // lock cmpxchg16b
-		ExecFence:          m.Cycles(33),  // mfence store-buffer drain
-		ExecLoad:           0,             // covered by L1Hit
-		ExecStore:          m.Cycles(1),
-	}
-	m.Energy = Energies{
-		StaticWattsPerCore:   1.5,
-		ActiveWattsPerThread: 1.8,
-		LocalOpNJ:            1.0,
-		PerHopNJ:             0.3,
-		CrossSocketNJ:        15,
-		LLCNJ:                8,
-		DRAMNJ:               20,
-	}
-	return m
-}
-
-// KNL returns a Xeon Phi Knights Landing 7210-class description: 64
-// cores on 32 active tiles (2 cores per tile) of a 6×6 mesh, 4-way SMT,
-// 1.3 GHz. KNL has no shared L3; the "LLC" level models the distributed
-// directory backed by MCDRAM cache.
-func KNL() *Machine {
-	m := &Machine{
-		Name:           "KNL",
-		Sockets:        1,
-		CoresPerSocket: 64,
-		ThreadsPerCore: 4,
-		FreqGHz:        1.3,
-		Topo:           topology.NewMesh2D(6, 6),
-	}
-	// Two cores share a tile; tiles 0..31 host cores, the remaining
-	// stops are memory/IO stops that still serve as line homes.
-	m.nodeOf = func(core int) int { return core / 2 }
-	m.Lat = Latencies{
-		L1Hit:              m.Cycles(4),  // ~3.1 ns
-		DirLookup:          m.Cycles(52), // ~40 ns distributed CHA
-		HopLatency:         m.Cycles(6),  // ~4.6 ns per mesh hop
-		CrossSocketPenalty: 0,
-		LLCHit:             m.Cycles(104), // ~80 ns MCDRAM-cached
-		DRAM:               m.Cycles(169), // ~130 ns
-		InvalidateCost:     m.Cycles(20),
-		ExecCAS:            m.Cycles(33), // locked RMWs are slow on KNL
-		ExecFAA:            m.Cycles(30),
-		ExecSWAP:           m.Cycles(30),
-		ExecTAS:            m.Cycles(28),
-		ExecCAS2:           m.Cycles(44),
-		ExecFence:          m.Cycles(40),
-		ExecLoad:           0,
-		ExecStore:          m.Cycles(2),
-	}
-	m.Energy = Energies{
-		StaticWattsPerCore:   1.2,
-		ActiveWattsPerThread: 0.9,
-		LocalOpNJ:            0.8,
-		PerHopNJ:             0.4,
-		CrossSocketNJ:        0,
-		LLCNJ:                12,
-		DRAMNJ:               30,
-	}
-	return m
-}
-
-// XeonMultiSocket returns a Xeon E5-class machine scaled to the given
-// socket count on a full-mesh inter-socket fabric (the 4-socket Xeon
-// topology). With sockets == 2 it is latency-identical to XeonE5. It
-// exists for the socket-scaling extrapolation experiment: the paper
-// measures two sockets, the model predicts more.
-func XeonMultiSocket(sockets int) *Machine {
-	base := XeonE5()
-	m := &Machine{
-		Name:           fmt.Sprintf("Xeon%dS", sockets),
-		Sockets:        sockets,
-		CoresPerSocket: base.CoresPerSocket,
-		ThreadsPerCore: base.ThreadsPerCore,
-		FreqGHz:        base.FreqGHz,
-		Topo:           topology.NewMultiRing(sockets, base.CoresPerSocket, 2),
-		Lat:            base.Lat,
-		Energy:         base.Energy,
-	}
-	m.nodeOf = func(core int) int { return core }
-	return m
-}
-
-// Ideal returns a small machine on an ideal crossbar. It exists for
-// model ablations: with uniform 1-hop transfers, measured contention
-// effects are purely protocol serialization.
-func Ideal(cores int) *Machine {
-	m := &Machine{
-		Name:           fmt.Sprintf("Ideal%d", cores),
-		Sockets:        1,
-		CoresPerSocket: cores,
-		ThreadsPerCore: 1,
-		FreqGHz:        2.0,
-		Topo:           topology.NewCrossbar(cores),
-	}
-	m.nodeOf = func(core int) int { return core }
-	m.Lat = Latencies{
-		L1Hit:          m.Cycles(4),
-		DirLookup:      m.Cycles(10),
-		HopLatency:     m.Cycles(20),
-		LLCHit:         m.Cycles(40),
-		DRAM:           m.Cycles(150),
-		InvalidateCost: m.Cycles(10),
-		ExecCAS:        m.Cycles(18),
-		ExecFAA:        m.Cycles(16),
-		ExecSWAP:       m.Cycles(16),
-		ExecTAS:        m.Cycles(15),
-		ExecCAS2:       m.Cycles(24),
-		ExecFence:      m.Cycles(20),
-		ExecLoad:       0,
-		ExecStore:      m.Cycles(1),
-	}
-	m.Energy = Energies{
-		StaticWattsPerCore:   1,
-		ActiveWattsPerThread: 1,
-		LocalOpNJ:            1,
-		PerHopNJ:             1,
-		LLCNJ:                5,
-		DRAMNJ:               15,
-	}
-	return m
-}
-
-// ByName returns the machine with the given name ("XeonE5", "KNL", or
-// "Ideal<N>"-style requests resolve to Ideal(8)).
-func ByName(name string) (*Machine, error) {
-	var m *Machine
-	switch name {
-	case "XeonE5", "xeon", "xeone5":
-		m = XeonE5()
-	case "KNL", "knl":
-		m = KNL()
-	case "Ideal", "ideal":
-		m = Ideal(8)
-	default:
-		return nil, fmt.Errorf("machine: unknown machine %q (want XeonE5, KNL, or Ideal)", name)
-	}
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	return m, nil
-}
-
-// All returns the machines the paper evaluates.
-func All() []*Machine { return []*Machine{XeonE5(), KNL()} }
+// The built-in machines live as embedded JSON specs in specs/*.json;
+// registry.go resolves them (ByName, All, Names) and provides the
+// preset accessors (XeonE5, KNL, XeonMultiSocket, Ideal).

@@ -17,7 +17,7 @@ func FuzzHops(f *testing.F) {
 	f.Fuzz(func(t *testing.T, kind, size uint8, ra, rb, rc uint16) {
 		per := 1 + int(size%16)
 		var topo Topology
-		switch kind % 5 {
+		switch kind % 6 {
 		case 0:
 			topo = NewRing(per)
 		case 1:
@@ -26,6 +26,8 @@ func FuzzHops(f *testing.F) {
 			topo = NewMesh2D(per, 1+int(size%5))
 		case 3:
 			topo = NewCrossbar(per)
+		case 4:
+			topo = NewStar(per, 1+int(size%3), size%2 == 0)
 		default:
 			topo = NewMultiRing(1+int(size%4), per, 3)
 		}

@@ -10,8 +10,11 @@
 // In the model pipeline (ARCHITECTURE.md) both the simulator
 // (internal/coherence) and the detailed analytical model
 // (internal/core) read hop counts from here — the d(·,·) of MODEL.md
-// §1. ARCHITECTURE.md, "How do I add a new machine", covers adding a
-// topology.
+// §1. Every shape is also constructible by name from flat integer
+// parameters through the builder registry (Build/RegisterBuilder), the
+// hook declarative machine specs (internal/machine) select their
+// interconnect with. ARCHITECTURE.md, "How do I add a new machine",
+// covers adding a topology.
 package topology
 
 import "fmt"

@@ -7,8 +7,10 @@
 # runs of the atomicsim CLI exercising the manifest/resume path and the
 # observability layer (-metrics tables, -chrome traces) end to end,
 # a full invariant-checked sweep, a cache-corruption/quarantine smoke,
-# and short native-fuzz passes over the run-log parsers and topology
-# hop computation. Run from the repo root.
+# a custom-machine-spec smoke (-machinefile load, digest-keyed resume,
+# spec round trip), and short native-fuzz passes over the run-log
+# parsers, topology hop computation, and the machine spec loader. Run
+# from the repo root.
 set -eu
 
 echo "== go build ./..."
@@ -103,9 +105,42 @@ if go run ./cmd/atomicsim -quick -quiet -exp F3 -machine XeonE5 \
 fi
 grep -q 'injected panic at event 100' "$dir/panic.log"
 
-echo "== fuzz smoke (runlog parsers, topology hops)"
+echo "== custom machine spec smoke (-machinefile, digest-keyed resume)"
+# A machine loaded from a JSON spec file must run end to end, resume
+# byte-identically from its own digest-keyed cache namespace, and its
+# cell keys must carry the Name@digest form.
+go run ./cmd/atomicsim -quick -quiet -exp F1 \
+    -machinefile examples/machines/epyc.json \
+    -manifest "$dir/specrun" > "$dir/spec_fresh.txt"
+go run ./cmd/atomicsim -quick -quiet -exp F1 \
+    -machinefile examples/machines/epyc.json \
+    -resume "$dir/specrun" > "$dir/spec_resumed.txt"
+cmp "$dir/spec_fresh.txt" "$dir/spec_resumed.txt" || {
+    echo "-machinefile resume differs from fresh run" >&2
+    exit 1
+}
+grep -q '"cached":true' "$dir/specrun/manifest.jsonl"
+grep -q 'EPYC@' "$dir/specrun/manifest.jsonl" || {
+    echo "spec-built machine cells are not digest-keyed" >&2
+    exit 1
+}
+# Spec round trip: the same file through the facade parses, builds, and
+# re-canonicalizes to a fixed point (covered in depth by TestSpecRoundTrip;
+# this guards the shipped example file itself).
+go run ./cmd/atomicmodel -machinefile examples/machines/epyc.json \
+    -primitive FAA -threads 8 > /dev/null
+# An unknown machine name must fail and list what is registered.
+if go run ./cmd/atomicsim -quick -quiet -exp F1 -machines bogus \
+    > /dev/null 2> "$dir/bogus.log"; then
+    echo "unknown -machines name did not fail" >&2
+    exit 1
+fi
+grep -q 'registered:' "$dir/bogus.log"
+
+echo "== fuzz smoke (runlog parsers, topology hops, machine specs)"
 go test -run FuzzNothing -fuzz FuzzCacheLoad -fuzztime 5s ./internal/runlog > /dev/null
 go test -run FuzzNothing -fuzz FuzzManifestValidate -fuzztime 5s ./internal/runlog > /dev/null
 go test -run FuzzNothing -fuzz FuzzHops -fuzztime 5s ./internal/topology > /dev/null
+go test -run FuzzNothing -fuzz FuzzSpecLoad -fuzztime 5s ./internal/machine > /dev/null
 
 echo "ok"
