@@ -143,8 +143,11 @@ type Memory struct {
 	bufDepth int
 	bufs     map[int]*storeBuf
 	// ctxPool recycles per-operation contexts so the apply/translate
-	// closures every primitive needs are built once, not per operation.
+	// closures every primitive needs are built once, not per operation;
+	// allCtxs tracks every context ever created so Reset can reclaim
+	// ones that were in flight when a run was cut off.
 	ctxPool []*opCtx
+	allCtxs []*opCtx
 	// casFault, when set, is consulted at every CAS serialization point;
 	// returning true forces the CAS to fail even on a matching value.
 	// Fault plans (internal/faults) use it to provoke retry storms; nil
@@ -213,6 +216,7 @@ func (mem *Memory) getCtx(p Primitive, arg1, arg2 uint64, done func(Result)) *op
 		c = &opCtx{mem: mem}
 		c.applyFn = c.apply
 		c.doneFn = c.complete
+		mem.allCtxs = append(mem.allCtxs, c)
 	}
 	c.p, c.arg1, c.arg2, c.done = p, arg1, arg2, done
 	return c
@@ -230,6 +234,25 @@ func NewMemory(eng *sim.Engine, m *machine.Machine, arb coherence.Arbiter) (*Mem
 
 // System exposes the underlying coherence system (stats, tracer, setup).
 func (mem *Memory) System() *coherence.System { return mem.sys }
+
+// Reset returns the memory (and its coherence system) to the
+// just-constructed state while keeping the operation-context pool and
+// every other allocation, so a pooled cell can reuse it with no per-run
+// allocation and byte-identical behavior.
+func (mem *Memory) Reset() {
+	mem.sys.Reset()
+	mem.casFault = nil
+	for c := range mem.bufs {
+		delete(mem.bufs, c)
+	}
+	// Reclaim contexts whose operations never completed before the
+	// run's horizon (their completion events died with the engine).
+	mem.ctxPool = mem.ctxPool[:0]
+	for _, c := range mem.allCtxs {
+		c.done = nil
+		mem.ctxPool = append(mem.ctxPool, c)
+	}
+}
 
 // Machine returns the machine description this memory simulates.
 func (mem *Memory) Machine() *machine.Machine { return mem.m }

@@ -8,11 +8,23 @@ import "atomicsmodel/internal/sim"
 // not FIFO — requesters topologically close to the line's current owner
 // win races more often, which starves distant cores on NUMA machines.
 type Arbiter interface {
-	// Pick returns the index into l.queue of the request to grant.
-	// The queue is non-empty when Pick is called.
+	// Pick returns the index into l.waiting() — the line's live queue
+	// window, oldest request first — of the request to grant. The
+	// window is non-empty when Pick is called.
 	Pick(s *System, l *lineState) int
 	// Name identifies the policy in experiment tables.
 	Name() string
+}
+
+// StatelessArbiter is an optional marker for arbiters whose Pick
+// neither mutates state nor draws randomness, so a pick from a
+// single-element queue can be elided entirely. The coherence layer's
+// analytic uncontended fast path requires it: that path grants without
+// calling Pick, which would desynchronize a stateful arbiter's stream
+// (RandomArbiter consumes one RNG draw even for a singleton queue).
+type StatelessArbiter interface {
+	// StatelessPick is a marker; it is never called.
+	StatelessPick()
 }
 
 // FIFOArbiter grants requests strictly in arrival order: an idealized,
@@ -21,6 +33,7 @@ type FIFOArbiter struct{}
 
 func (FIFOArbiter) Pick(s *System, l *lineState) int { return 0 }
 func (FIFOArbiter) Name() string                     { return "fifo" }
+func (FIFOArbiter) StatelessPick()                   {}
 
 // RandomArbiter grants a uniformly random queued request. Memoryless
 // arbitration is statistically fair in the long run but produces higher
@@ -35,7 +48,7 @@ func NewRandomArbiter(seed uint64) *RandomArbiter {
 }
 
 func (a *RandomArbiter) Pick(s *System, l *lineState) int {
-	return a.RNG.Intn(len(l.queue))
+	return a.RNG.Intn(l.qlen())
 }
 func (a *RandomArbiter) Name() string { return "random" }
 
@@ -55,25 +68,28 @@ type LocalityArbiter struct {
 
 func (a *LocalityArbiter) Pick(s *System, l *lineState) int {
 	if a.MaxSkips > 0 {
-		for i, r := range l.queue {
-			if r.skipped >= a.MaxSkips {
+		for i, r := range l.waiting() {
+			// A waiter's live bypass count is the grants since it joined.
+			if int(l.grants-r.skipBase) >= a.MaxSkips {
 				return i
 			}
 		}
 	}
 	cur := l.home
 	if l.owner >= 0 {
-		cur = s.p.NodeOf(l.owner)
+		cur = s.nodeOf[l.owner]
 	}
 	best, bestD := 0, int(^uint(0)>>1)
-	for i, r := range l.queue {
-		d := s.p.Topo.Hops(s.p.NodeOf(r.core), cur)
+	for i, r := range l.waiting() {
+		d := int(s.thops[s.nodeOf[r.core]*s.tn+cur])
 		if d < bestD {
 			best, bestD = i, d
 		}
 	}
 	return best
 }
+
+func (a *LocalityArbiter) StatelessPick() {}
 
 func (a *LocalityArbiter) Name() string {
 	if a.MaxSkips > 0 {

@@ -209,13 +209,18 @@ type Apply func(cur uint64) (next uint64, write bool)
 // completion closures are built once per request object and survive
 // recycling (they read everything through the request pointer).
 type request struct {
-	core    int
-	kind    Kind
-	hold    sim.Time // execution occupancy after data arrival
-	apply   Apply
-	issued  sim.Time
-	skipped int // services that happened while this waited
-	done    func(AccessResult)
+	core   int
+	kind   Kind
+	hold   sim.Time // execution occupancy after data arrival
+	apply  Apply
+	issued sim.Time
+	// skipBase is the line's grant counter at enqueue time; the grants
+	// this request waited through is the counter's delta at its own
+	// grant, so bypass tracking costs O(1) instead of touching every
+	// waiter on every grant. skipped caches that delta once granted.
+	skipBase uint64
+	skipped  int
+	done     func(AccessResult)
 	// res is the in-progress result for the service this request was
 	// granted (filled by serviceCost, finalized at completion) or, on
 	// the non-serialized fast paths, the fully precomputed result.
@@ -223,9 +228,11 @@ type request struct {
 	// line is the line this request is currently operating on.
 	line *lineState
 	// completeFn finalizes a granted (serialized) service; fastFn
-	// finalizes a fast-path access that never queued.
+	// finalizes a fast-path access that never queued; ownFn finalizes an
+	// uncontended owner RFO that bypassed the arbiter.
 	completeFn func()
 	fastFn     func()
+	ownFn      func()
 }
 
 // lineState is the directory entry plus value for one line.
@@ -241,8 +248,39 @@ type lineState struct {
 	sharers    coreSet
 	valid      bool // present somewhere on chip (else DRAM)
 
-	busy  bool
+	busy bool
+	// queue[qhead:] is the live request window. Grants advance qhead
+	// instead of copying the tail down, so the FIFO common case is O(1)
+	// with no pointer writes; the slice is compacted when it empties.
 	queue []*request
+	qhead int
+	// grants counts services granted on this line, ever; paired with
+	// request.skipBase it yields each waiter's bypass count in O(1).
+	grants uint64
+}
+
+// qlen is the number of requests waiting (the live queue window).
+func (l *lineState) qlen() int { return len(l.queue) - l.qhead }
+
+// waiting is the live queue window, oldest first. Arbiters index into
+// it; the granted index is relative to this window.
+func (l *lineState) waiting() []*request { return l.queue[l.qhead:] }
+
+// reset returns the line to its never-touched state, keeping the queue
+// and sharer-set capacity for reuse by a pooled system.
+func (l *lineState) reset() {
+	l.value = 0
+	l.owner = -1
+	l.ownerDirty = false
+	l.sharers.clear()
+	l.valid = false
+	l.busy = false
+	for i := range l.queue {
+		l.queue[i] = nil
+	}
+	l.queue = l.queue[:0]
+	l.qhead = 0
+	l.grants = 0
 }
 
 // AuditGrant is the auditor's view of one granted (serialized) service:
@@ -308,11 +346,32 @@ type System struct {
 	// Hot-path lookup tables, built once at NewSystem time: the dense
 	// topology replaces per-message routing arithmetic with array reads,
 	// and nodeOf caches the core-to-node map so accesses never call back
-	// into the machine description.
+	// into the machine description. thops/tcross/tn are the dense
+	// topology's raw matrices, indexed a*tn+b without range checks.
 	topo   *topology.Dense
+	thops  []int32
+	tcross []bool
+	tn     int
 	nodeOf []int
-	// reqPool recycles request structs (see request).
-	reqPool []*request
+	// reqPool recycles request structs (see request); allReqs tracks
+	// every request ever created so Reset can reclaim the ones that were
+	// still in flight (queued, or held by a pending completion event)
+	// when the run was cut off. lineFree recycles directory entries.
+	// Together they make a pooled system's steady state allocation-free.
+	reqPool  []*request
+	allReqs  []*request
+	lineFree []*lineState
+	// lastLine is a one-entry lookup cache in front of the lines map;
+	// workloads hammer one line (or a handful), so most accesses skip
+	// the map entirely.
+	lastLine *lineState
+	// fastOwn gates the analytic uncontended-owner RFO path: it requires
+	// an arbiter with no pick side effects (StatelessArbiter), no
+	// auditor, and no metrics registry, because that path bypasses the
+	// grant machinery those consumers observe. Recomputed whenever one
+	// of the three inputs changes.
+	fastOwn   bool
+	metricsOn bool
 
 	// Stats counters (cheap, always on).
 	nAccesses   uint64
@@ -353,7 +412,7 @@ func NewSystem(eng *sim.Engine, p Params, arb Arbiter) (*System, error) {
 	for c := range nodeOf {
 		nodeOf[c] = p.NodeOf(c)
 	}
-	return &System{
+	s := &System{
 		eng:    eng,
 		p:      p,
 		arb:    arb,
@@ -361,7 +420,17 @@ func NewSystem(eng *sim.Engine, p Params, arb Arbiter) (*System, error) {
 		net:    newNetwork(&p),
 		topo:   topology.NewDense(p.Topo),
 		nodeOf: nodeOf,
-	}, nil
+	}
+	s.thops, s.tcross, s.tn = s.topo.Tables()
+	s.recomputeFastOwn()
+	return s, nil
+}
+
+// recomputeFastOwn re-derives the uncontended-owner fast-path gate; see
+// the fastOwn field.
+func (s *System) recomputeFastOwn() {
+	_, stateless := s.arb.(StatelessArbiter)
+	s.fastOwn = stateless && s.aud == nil && !s.metricsOn
 }
 
 // getReq takes a request from the pool (or allocates one, wiring its
@@ -375,6 +444,8 @@ func (s *System) getReq() *request {
 	r := &request{}
 	r.completeFn = func() { s.completeService(r) }
 	r.fastFn = func() { s.completeFast(r) }
+	r.ownFn = func() { s.completeOwned(r) }
+	s.allReqs = append(s.allReqs, r)
 	return r
 }
 
@@ -385,6 +456,7 @@ func (s *System) putReq(r *request) {
 	// prebaked completion closures.
 	r.apply, r.done, r.line = nil, nil, nil
 	r.skipped = 0
+	r.skipBase = 0
 	r.res = AccessResult{}
 	s.reqPool = append(s.reqPool, r)
 }
@@ -400,7 +472,7 @@ func (s *System) putReq(r *request) {
 // (message chains are at most four stops) so calls stay off the heap.
 func (s *System) pathCost(proc sim.Time, nodes [4]int, n int) (total sim.Time, hops int) {
 	for i := 1; i < n; i++ {
-		hops += s.topo.Hops(nodes[i-1], nodes[i])
+		hops += int(s.thops[nodes[i-1]*s.tn+nodes[i]])
 	}
 	if s.net == nil {
 		return proc + sim.Time(hops)*s.p.HopLatency, hops
@@ -424,8 +496,13 @@ func (s *System) SetTracer(fn func(TraceEvent)) { s.tracer = fn }
 
 // SetAuditor installs a protocol auditor (nil removes it). With no
 // auditor installed every audit site is a single nil check, keeping the
-// access path allocation-free and byte-identical in behavior.
-func (s *System) SetAuditor(a Auditor) { s.aud = a }
+// access path allocation-free and byte-identical in behavior. An
+// auditor needs per-grant visibility, so installing one also disables
+// the uncontended-owner fast path.
+func (s *System) SetAuditor(a Auditor) {
+	s.aud = a
+	s.recomputeFastOwn()
+}
 
 // Arbiter returns the line arbiter the system grants with.
 func (s *System) Arbiter() Arbiter { return s.arb }
@@ -457,6 +534,23 @@ func (s *System) InstallMetrics(r *metrics.Registry) {
 	s.mCross = r.Counter(metrics.CohCrossSocket)
 	s.mQueueDepth = r.Histogram(metrics.CohQueueDepth)
 	s.mQueuedBehind = r.Histogram(metrics.CohQueuedBehind)
+	// Metrics consumers want one observation per queue/grant event, so
+	// the uncontended-owner fast path turns itself off while a registry
+	// is installed (a nil registry keeps every handle nil and the layer
+	// off).
+	s.metricsOn = r != nil
+	s.recomputeFastOwn()
+}
+
+// SetArbiter replaces the line arbiter (nil means FIFO). Pooled systems
+// use it to install each cell's policy; it must not be called while
+// requests are in flight.
+func (s *System) SetArbiter(arb Arbiter) {
+	if arb == nil {
+		arb = FIFOArbiter{}
+	}
+	s.arb = arb
+	s.recomputeFastOwn()
 }
 
 // Engine returns the simulation engine the system schedules on.
@@ -466,16 +560,28 @@ func (s *System) Engine() *sim.Engine { return s.eng }
 func (s *System) Params() Params { return s.p }
 
 func (s *System) line(id LineID) *lineState {
+	if l := s.lastLine; l != nil && l.id == id {
+		return l
+	}
 	l, ok := s.lines[id]
 	if !ok {
-		l = &lineState{
-			id:      id,
-			home:    int(uint64(id) % uint64(s.p.Topo.Nodes())),
-			owner:   -1,
-			sharers: newCoreSet(s.p.NumCores),
+		if n := len(s.lineFree); n > 0 {
+			l = s.lineFree[n-1]
+			s.lineFree[n-1] = nil
+			s.lineFree = s.lineFree[:n-1]
+			l.id = id
+			l.home = int(uint64(id) % uint64(s.tn))
+		} else {
+			l = &lineState{
+				id:      id,
+				home:    int(uint64(id) % uint64(s.tn)),
+				owner:   -1,
+				sharers: newCoreSet(s.p.NumCores),
+			}
 		}
 		s.lines[id] = l
 	}
+	s.lastLine = l
 	return l
 }
 
@@ -498,7 +604,7 @@ func (s *System) Value(id LineID) uint64 { return s.line(id).value }
 // flight.
 func (s *System) EvictPrivate(id LineID) {
 	l := s.line(id)
-	if l.busy || len(l.queue) > 0 {
+	if l.busy || l.qlen() > 0 {
 		panic("coherence: EvictPrivate on a line with in-flight requests")
 	}
 	l.owner = -1
@@ -531,7 +637,42 @@ func (s *System) Access(core int, id LineID, kind Kind, hold sim.Time, apply App
 		req := s.getReq()
 		req.core, req.kind, req.done, req.line = core, kind, done, l
 		req.res = AccessResult{Latency: s.p.L1Hit, Value: l.value, Source: SrcLocal}
-		s.eng.Schedule(s.p.L1Hit, req.fastFn)
+		if !s.eng.TryExpress(s.p.L1Hit, req.fastFn) {
+			s.eng.ScheduleShard(l.home, s.p.L1Hit, req.fastFn)
+		}
+		return
+	}
+
+	// Analytic uncontended-owner path: an RFO by the core that already
+	// holds the line exclusively, with no service in flight and nobody
+	// queued, serializes trivially — the arbiter has one choice and the
+	// cost is the closed-form L1 hit plus the instruction's occupancy
+	// (the paper's uncontended constant). Bypass the queue/grant
+	// machinery and schedule the completion directly; every observable
+	// effect (counters, directory transition, grant count, value
+	// application, trace event, result fields) mirrors the slow path
+	// exactly, so results are byte-identical. The fastOwn gate keeps
+	// this off whenever an auditor, metrics registry, or stateful
+	// arbiter needs to see the grant; the sharers/valid checks keep it
+	// off in deliberately corrupted directory states (BreakLine).
+	if kind == RFO && s.fastOwn && l.owner == core && !l.busy &&
+		l.qhead == len(l.queue) && l.valid && l.sharers.empty() {
+		s.nAccesses++
+		s.nLocal++
+		if s.maxQueueLen < 1 {
+			s.maxQueueLen = 1
+		}
+		l.busy = true
+		l.grants++
+		l.ownerDirty = false // E until the apply writes, like applyDirectory
+		req := s.getReq()
+		req.core, req.kind, req.done, req.line = core, kind, done, l
+		req.apply = apply
+		cost := s.p.L1Hit + hold
+		req.res = AccessResult{Latency: cost, Source: SrcLocal}
+		if !s.eng.TryExpress(cost, req.ownFn) {
+			s.eng.ScheduleShard(l.home, cost, req.ownFn)
+		}
 		return
 	}
 
@@ -544,7 +685,7 @@ func (s *System) Access(core int, id LineID, kind Kind, hold sim.Time, apply App
 		cNode := s.nodeOf[core]
 		// Choose the data source with uncontended closed-form costs,
 		// then reserve (and pay) only the chosen path.
-		llcHops := 2 * s.topo.Hops(cNode, l.home)
+		llcHops := 2 * int(s.thops[cNode*s.tn+l.home])
 		llcCost := s.p.DirLookup + s.p.LLCHit + sim.Time(llcHops)*s.p.HopLatency
 		useForward := false
 		var fNode, fHops int
@@ -553,7 +694,7 @@ func (s *System) Access(core int, id LineID, kind Kind, hold sim.Time, apply App
 			// MESIF: the nearest sharer forwards if that beats the LLC.
 			if f, h, ok := s.nearestSharer(l, cNode); ok {
 				fNode, fHops = s.nodeOf[f], h
-				fCross = s.topo.CrossSocket(cNode, fNode)
+				fCross = s.tcross[cNode*s.tn+fNode]
 				fCost := s.p.DirLookup + sim.Time(fHops)*s.p.HopLatency
 				if fCross {
 					fCost += s.p.CrossSocketPenalty
@@ -593,20 +734,41 @@ func (s *System) Access(core int, id LineID, kind Kind, hold sim.Time, apply App
 		req := s.getReq()
 		req.core, req.kind, req.done, req.line = core, kind, done, l
 		req.res = res
-		s.eng.Schedule(cost, req.fastFn)
+		if !s.eng.TryExpress(cost, req.fastFn) {
+			s.eng.ScheduleShard(l.home, cost, req.fastFn)
+		}
 		return
 	}
 
 	req := s.getReq()
 	req.core, req.kind, req.hold = core, kind, hold
 	req.apply, req.done, req.issued = apply, done, s.eng.Now()
-	l.queue = append(l.queue, req)
-	if len(l.queue) > s.maxQueueLen {
-		s.maxQueueLen = len(l.queue)
+	req.skipBase = l.grants
+	if l.qhead > 0 && l.qhead == len(l.queue) {
+		// The window emptied: rewind so the backing array is reused.
+		l.qhead = 0
+		l.queue = l.queue[:0]
+	} else if l.qhead > 0 && len(l.queue) == cap(l.queue) {
+		// About to grow: slide the live window to the front instead.
+		// Under sustained contention the head advances but the window
+		// stays small, so without this the backing array would double
+		// forever. Window order (and thus arbiter indices) is
+		// unchanged.
+		n := copy(l.queue, l.queue[l.qhead:])
+		for i := n; i < len(l.queue); i++ {
+			l.queue[i] = nil
+		}
+		l.queue = l.queue[:n]
+		l.qhead = 0
 	}
-	s.mQueueDepth.Observe(uint64(len(l.queue)))
+	l.queue = append(l.queue, req)
+	qlen := l.qlen()
+	if qlen > s.maxQueueLen {
+		s.maxQueueLen = qlen
+	}
+	s.mQueueDepth.Observe(uint64(qlen))
 	if s.aud != nil {
-		s.aud.LineEnqueued(id, len(l.queue))
+		s.aud.LineEnqueued(id, qlen)
 	}
 	if !l.busy {
 		s.serveNext(l)
@@ -620,7 +782,7 @@ func (s *System) nearestSharer(l *lineState, reqNode int) (core, hops int, ok bo
 	best, bestHops := -1, int(^uint(0)>>1)
 	l.sharers.forEach(func(c int) {
 		n := s.nodeOf[c]
-		h := s.topo.Hops(reqNode, l.home) + s.topo.Hops(l.home, n) + s.topo.Hops(n, reqNode)
+		h := int(s.thops[reqNode*s.tn+l.home] + s.thops[l.home*s.tn+n] + s.thops[n*s.tn+reqNode])
 		if h < bestHops {
 			best, bestHops = c, h
 		}
@@ -633,17 +795,21 @@ func (s *System) nearestSharer(l *lineState, reqNode int) (core, hops int, ok bo
 
 // serveNext grants the arbiter's pick and schedules its completion.
 func (s *System) serveNext(l *lineState) {
-	if len(l.queue) == 0 {
+	if l.qhead == len(l.queue) {
 		l.busy = false
 		return
 	}
 	l.busy = true
 	idx := s.arb.Pick(s, l)
-	req := l.queue[idx]
-	l.queue = append(l.queue[:idx], l.queue[idx+1:]...)
-	for _, waiting := range l.queue {
-		waiting.skipped++
-	}
+	req := l.queue[l.qhead+idx]
+	// Remove the pick while preserving arrival order: shift the idx
+	// earlier arrivals right one slot and advance the head. FIFO picks
+	// index 0, which makes this a single head bump with no copies.
+	copy(l.queue[l.qhead+1:l.qhead+idx+1], l.queue[l.qhead:l.qhead+idx])
+	l.queue[l.qhead] = nil
+	l.qhead++
+	req.skipped = int(l.grants - req.skipBase)
+	l.grants++
 
 	cost, res := s.serviceCost(l, req)
 	req.res = res
@@ -652,7 +818,7 @@ func (s *System) serveNext(l *lineState) {
 	if s.aud != nil {
 		s.aud.LineGranted(AuditGrant{
 			Line: l.id, Core: req.core, Kind: req.kind,
-			Skipped: req.skipped, QueueLen: len(l.queue),
+			Skipped: req.skipped, QueueLen: l.qlen(),
 			Owner: l.owner, OwnerDirty: l.ownerDirty,
 			Sharers: l.sharers.count(), Valid: l.valid,
 			At: s.eng.Now(),
@@ -663,7 +829,9 @@ func (s *System) serveNext(l *lineState) {
 	// the requester's completion callback fires at the same instant the
 	// next request can be granted.
 	total := cost + req.hold
-	s.eng.Schedule(total, req.completeFn)
+	if !s.eng.TryExpress(total, req.completeFn) {
+		s.eng.ScheduleShard(l.home, total, req.completeFn)
+	}
 }
 
 // completeService finalizes a granted request at its completion instant:
@@ -709,6 +877,30 @@ func (s *System) completeFast(req *request) {
 	s.finish(l, core, kind, &res, done)
 }
 
+// completeOwned finalizes an uncontended-owner RFO (see Access): it is
+// completeService specialized to the case where the queue was empty and
+// the pick forced at grant time, so the latency and bypass bookkeeping
+// are precomputed constants. The busy flag stays set through the
+// callback and the trailing serveNext hands the line over, exactly as
+// the slow path does — an access the callback issues must observe the
+// line mid-service, not idle.
+func (s *System) completeOwned(req *request) {
+	l := req.line
+	res := req.res
+	res.Value = l.value
+	if req.apply != nil {
+		if next, write := req.apply(l.value); write {
+			l.value = next
+			res.Wrote = true
+			l.ownerDirty = true
+		}
+	}
+	core, kind, done := req.core, req.kind, req.done
+	s.putReq(req)
+	s.finish(l, core, kind, &res, done)
+	s.serveNext(l)
+}
+
 // serviceCost computes the transfer latency and provenance for a granted
 // request, based on the directory state before the request is applied.
 func (s *System) serviceCost(l *lineState, req *request) (sim.Time, AccessResult) {
@@ -739,7 +931,7 @@ func (s *System) serviceCost(l *lineState, req *request) (sim.Time, AccessResult
 		// request to the owner, owner sends data to the requester.
 		oNode := s.nodeOf[l.owner]
 		cost, hops := s.pathCost(s.p.DirLookup, [4]int{cNode, l.home, oNode, cNode}, 4)
-		cross := s.topo.CrossSocket(cNode, oNode)
+		cross := s.tcross[cNode*s.tn+oNode]
 		if cross {
 			cost += s.p.CrossSocketPenalty
 			s.nCrossSock++
@@ -878,6 +1070,87 @@ func (s *System) Stats() Stats {
 	}
 }
 
+// AddScaledStats adds k copies of the counter delta d — the hook the
+// steady-state cycle memoizer (internal/workload) uses to credit the
+// accesses of elided cycles exactly as if they had been simulated.
+// MaxQueueLen is a maximum, not an accumulator, so it is untouched; a
+// periodic schedule cannot raise it past the recorded cycle's value.
+func (s *System) AddScaledStats(d Stats, k uint64) {
+	s.nAccesses += d.Accesses * k
+	s.nLocal += d.LocalHits * k
+	s.nRemote += d.RemoteXfers * k
+	s.nLLC += d.LLCFills * k
+	s.nDRAM += d.DRAMFills * k
+	s.nInvals += d.Invals * k
+	s.totalHops += d.TotalHops * k
+	s.nCrossSock += d.CrossSocket * k
+	if d.LinkStall != 0 && s.net != nil {
+		s.net.stalled += d.LinkStall * sim.Time(k)
+	}
+}
+
+// ShiftInFlight translates the issue timestamp of every live request by
+// delta, alongside sim.Engine.ShiftPending: when the fast-forward layer
+// elides k cycles, an in-flight request stands in for its k-cycles-later
+// counterpart, whose issue time is exactly delta later. Latency is
+// finalized at completion as now−issued, so without this shift the
+// requests straddling a jump would absorb the whole elided span into
+// their reported latency. Requests in the free pool are shifted too —
+// harmless, since issue times are overwritten at issue.
+func (s *System) ShiftInFlight(delta sim.Time) {
+	for _, r := range s.allReqs {
+		r.issued += delta
+	}
+}
+
+// AppendCycleKey appends a compact fingerprint of line id's protocol
+// state to dst and returns the extended slice. Two instants with equal
+// keys (plus equal engine/thread state, which the caller fingerprints
+// separately) evolve identically, because everything the access path
+// reads is included: directory state, busyness, and the live queue
+// window's (core, kind, hold, bypass-count) sequence in grant order.
+// Deliberately excluded are the monotonic quantities — the line value
+// (value-independent primitives only; the caller gates on that) and the
+// raw grant counter (only the per-request delta matters). Used by the
+// steady-state cycle memoizer in internal/workload.
+func (s *System) AppendCycleKey(dst []byte, id LineID) []byte {
+	l := s.lastLine
+	if l == nil || l.id != id {
+		l = s.lines[id]
+	}
+	if l == nil {
+		return append(dst, 0xff)
+	}
+	var flags byte
+	if l.ownerDirty {
+		flags |= 1
+	}
+	if l.valid {
+		flags |= 2
+	}
+	if l.busy {
+		flags |= 4
+	}
+	dst = append(dst, flags)
+	dst = appendUint64(dst, uint64(int64(l.owner)))
+	for _, w := range l.sharers.words {
+		dst = appendUint64(dst, w)
+	}
+	for _, r := range l.waiting() {
+		dst = appendUint64(dst, uint64(r.core))
+		dst = append(dst, byte(r.kind))
+		dst = appendUint64(dst, uint64(r.hold))
+		dst = appendUint64(dst, l.grants-r.skipBase)
+	}
+	return dst
+}
+
+func appendUint64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
 // CheckInvariants validates directory consistency for all lines. It is
 // called by tests after every workload; violations indicate protocol
 // bugs, so it returns a descriptive error rather than panicking.
@@ -892,7 +1165,7 @@ func (s *System) CheckInvariants() error {
 		if !l.valid && (l.owner >= 0 || !l.sharers.empty()) {
 			return fmt.Errorf("line %d: cached but not valid", id)
 		}
-		if l.busy && len(l.queue) == 0 && s.eng.Pending() == 0 {
+		if l.busy && l.qlen() == 0 && s.eng.Pending() == 0 {
 			return fmt.Errorf("line %d: busy with no pending completion", id)
 		}
 	}
@@ -915,5 +1188,47 @@ func (s *System) Directory(id LineID) LineDirectory {
 	l := s.line(id)
 	var sh []int
 	l.sharers.forEach(func(c int) { sh = append(sh, c) })
-	return LineDirectory{Owner: l.owner, Dirty: l.ownerDirty, Sharers: sh, Valid: l.valid, Home: l.home, Queue: len(l.queue)}
+	return LineDirectory{Owner: l.owner, Dirty: l.ownerDirty, Sharers: sh, Valid: l.valid, Home: l.home, Queue: l.qlen()}
+}
+
+// Reset returns the system to its just-constructed state — no lines, no
+// hooks, zeroed counters — while keeping every allocation (request
+// pool, directory entries, queue arrays, network tables) for reuse. A
+// reset system behaves byte-identically to a freshly built one with the
+// same engine, params, and arbiter; the cell pool (internal/workload)
+// relies on this to run cells without per-cell allocation. The caller
+// is responsible for resetting the engine and the arbiter's own state
+// (a RandomArbiter's RNG stream).
+func (s *System) Reset() {
+	for id, l := range s.lines {
+		l.reset()
+		s.lineFree = append(s.lineFree, l)
+		delete(s.lines, id)
+	}
+	s.lastLine = nil
+	s.tracer = nil
+	s.aud = nil
+	// Reclaim every request, including those that were still queued or
+	// had pending completion events when the run was cut off at its
+	// horizon — the engine reset dropped those events, so the objects
+	// are free again.
+	s.reqPool = s.reqPool[:0]
+	for _, r := range s.allReqs {
+		r.apply, r.done, r.line = nil, nil, nil
+		r.skipped = 0
+		r.skipBase = 0
+		r.res = AccessResult{}
+		s.reqPool = append(s.reqPool, r)
+	}
+	s.nAccesses, s.nLocal, s.nRemote, s.nLLC, s.nDRAM = 0, 0, 0, 0, 0
+	s.nInvals, s.totalHops, s.nCrossSock = 0, 0, 0
+	s.maxQueueLen = 0
+	s.mTransfer = [4]*metrics.Counter{}
+	s.mInval, s.mCross = nil, nil
+	s.mQueueDepth, s.mQueuedBehind = nil, nil
+	s.metricsOn = false
+	s.recomputeFastOwn()
+	if s.net != nil {
+		s.net.Reset()
+	}
 }

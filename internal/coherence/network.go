@@ -78,3 +78,12 @@ func (nw *network) trip(at sim.Time, nodes ...int) sim.Time {
 
 // Stalled reports the cumulative time messages spent waiting for links.
 func (nw *network) Stalled() sim.Time { return nw.stalled }
+
+// Reset clears all link reservations and the stall accumulator so a
+// pooled system starts its next cell with an idle interconnect.
+func (nw *network) Reset() {
+	for l := range nw.free {
+		nw.free[l] = 0
+	}
+	nw.stalled = 0
+}

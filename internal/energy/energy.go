@@ -32,26 +32,50 @@ type Meter struct {
 // NewMeter returns a meter for machine m.
 func NewMeter(m *machine.Machine) *Meter { return &Meter{m: m} }
 
-// Observe charges the dynamic energy of one coherence access. It is
-// shaped to be used directly: sys.SetTracer(meter.Observe).
-func (mt *Meter) Observe(ev coherence.TraceEvent) {
+// EventNJ returns the dynamic-energy charge for one coherence access by
+// provenance, without accumulating it. The fast-forward layer uses it
+// to precompute a memoized cycle's charge sequence once instead of
+// re-deriving it per elided cycle (see Replay).
+func (mt *Meter) EventNJ(ev coherence.TraceEvent) float64 {
 	e := &mt.m.Energy
-	nj := 0.0
 	switch ev.Result.Source {
 	case coherence.SrcLocal:
-		nj = e.LocalOpNJ
+		return e.LocalOpNJ
 	case coherence.SrcRemoteCache:
-		nj = e.LocalOpNJ + float64(ev.Result.Hops)*e.PerHopNJ
+		nj := e.LocalOpNJ + float64(ev.Result.Hops)*e.PerHopNJ
 		if ev.Result.CrossSocket {
 			nj += e.CrossSocketNJ
 		}
+		return nj
 	case coherence.SrcLLC:
-		nj = e.LLCNJ + float64(ev.Result.Hops)*e.PerHopNJ
+		return e.LLCNJ + float64(ev.Result.Hops)*e.PerHopNJ
 	case coherence.SrcDRAM:
-		nj = e.DRAMNJ + float64(ev.Result.Hops)*e.PerHopNJ
+		return e.DRAMNJ + float64(ev.Result.Hops)*e.PerHopNJ
 	}
-	mt.dynamicNJ += nj
+	return 0
+}
+
+// Observe charges the dynamic energy of one coherence access. It is
+// shaped to be used directly: sys.SetTracer(meter.Observe).
+func (mt *Meter) Observe(ev coherence.TraceEvent) {
+	mt.dynamicNJ += mt.EventNJ(ev)
 	mt.events++
+}
+
+// Replay adds k repetitions of the per-event charge sequence njs, in
+// order. It is the fast-forward hook for elided steady-state cycles:
+// float addition is not associative, so the k-cycle total cannot be
+// computed as a product — but adding the charges in exactly the order
+// Observe would have yields a bit-identical accumulator.
+func (mt *Meter) Replay(njs []float64, k uint64) {
+	acc := mt.dynamicNJ
+	for i := uint64(0); i < k; i++ {
+		for _, nj := range njs {
+			acc += nj
+		}
+	}
+	mt.dynamicNJ = acc
+	mt.events += k * uint64(len(njs))
 }
 
 // DynamicNJ returns the accumulated dynamic energy in nanojoules.

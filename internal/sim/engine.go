@@ -7,13 +7,52 @@
 // is what lets the repository reproduce the paper's experiments bit-for-bit
 // across runs, something raw hardware measurements cannot do.
 //
+// # Sharded queue and the deterministic merge rule
+//
+// Internally the queue is split into S independent binary min-heaps
+// ("shards") plus an express lane (below). Every event carries a globally
+// unique, monotonically assigned sequence number, and the dispatcher always
+// pops the event with the minimum (timestamp, sequence) pair across all
+// shard heads. Because the sequence numbers are assigned at scheduling time
+// independent of shard placement, the merged pop order is exactly the pop
+// order of a single global heap: shard count and shard assignment can never
+// change results, only the cost profile — push/pop sift within a shard is
+// O(log N/S) and the merge scan is O(S) over shard heads. Callers that know
+// a natural partition (the coherence layer shards by a line's home
+// directory) use ScheduleShard/AtShard; everything else lands in shard 0.
+//
+// # Express lane
+//
+// TryExpress schedules an event on a plain FIFO slice instead of a heap
+// when its (timestamp, sequence) pair is known to be >= the lane's current
+// tail, which holds for the common "schedule the completion of the service
+// I am starting right now" pattern. The dispatcher merges the lane head
+// with the shard heads under the same (timestamp, sequence) rule, so an
+// express event runs at exactly the instant and position a heap event
+// would — it just skips both sift paths. Callers must fall back to
+// Schedule/ScheduleShard when TryExpress declines.
+//
+// # Fast-forward hooks
+//
+// ShiftPending, JumpClock and SetIdleHook exist for the analytic
+// fast-forward layer (internal/workload's steady-state extrapolation):
+// they let a caller that has proven the simulation is in an exactly
+// periodic regime translate every pending event forward in time, advance
+// the clock and the processed-event count by the elided amount, and get
+// control between events to do so. They preserve all engine invariants
+// but are not meant for general scheduling.
+//
 // In the model pipeline (ARCHITECTURE.md) this package is the bottom
 // layer: internal/coherence schedules every protocol message on it,
 // and each experiment cell owns a private engine — parallelism lives
 // across cells (internal/harness), never inside one.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
 
 // Time is a simulated instant or duration in picoseconds.
 //
@@ -55,84 +94,121 @@ func (t Time) String() string {
 }
 
 // event is a scheduled callback. seq breaks ties so that events scheduled
-// earlier at the same instant run first (stable, deterministic ordering).
+// earlier at the same instant run first (stable, deterministic ordering),
+// and — because it is globally unique across shards — defines the total
+// order the sharded merge reproduces.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
 }
 
+// before reports whether ev orders strictly before (at, seq). Sequence
+// numbers are unique, so this is a strict total order.
+func (ev *event) before(at Time, seq uint64) bool {
+	return ev.at < at || (ev.at == at && ev.seq < seq)
+}
+
 // eventHeap is a binary min-heap of events ordered by (at, seq). It is
 // hand-rolled rather than built on container/heap because the interface
 // indirection there boxes every pushed and popped event onto the heap —
 // two allocations per scheduled event, which dominated simulation cost
-// at millions of events per experiment cell.
+// at millions of events per experiment cell. The sift paths move the
+// displaced element through a "hole" (one store per level) instead of
+// swapping (three stores per level), which matters because each event
+// carries a function pointer and therefore a write barrier per store.
 type eventHeap []event
 
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-// push appends ev and sifts it up to its heap position.
+// push appends ev and sifts the hole up to its heap position.
 func (h *eventHeap) push(ev event) {
-	*h = append(*h, ev)
-	q := *h
+	q := append(*h, event{})
 	i := len(q) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		if q[parent].before(ev.at, ev.seq) {
 			break
 		}
-		q[i], q[parent] = q[parent], q[i]
+		q[i] = q[parent]
 		i = parent
 	}
+	q[i] = ev
+	*h = q
 }
 
-// pop removes and returns the minimum event.
+// pop removes and returns the minimum event, sifting the former tail
+// down through the root hole.
 func (h *eventHeap) pop() event {
 	q := *h
 	top := q[0]
 	n := len(q) - 1
-	q[0] = q[n]
+	tail := q[n]
 	q[n] = event{} // release the callback for GC
 	q = q[:n]
 	*h = q
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && q.less(l, smallest) {
-			smallest = l
+	if n > 0 {
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if r := c + 1; r < n && q[r].before(q[c].at, q[c].seq) {
+				c = r
+			}
+			if tail.before(q[c].at, q[c].seq) {
+				break
+			}
+			q[i] = q[c]
+			i = c
 		}
-		if r < n && q.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		q[i], q[smallest] = q[smallest], q[i]
-		i = smallest
+		q[i] = tail
 	}
 	return top
 }
 
-// Engine is a discrete-event simulator. The zero value is ready to use.
-// Engines are not safe for concurrent use; a simulation is a single-threaded
-// interleaving of events by construction.
+// maxShards bounds the shard count: the dispatcher scans every shard
+// head per pop, so past a few dozen shards the merge scan would cost
+// more than the sift depth it saves.
+const maxShards = 64
+
+// expressBacklog bounds the express lane. The lane is meant for
+// imminent events; if a caller somehow parks this many events on it the
+// engine pushes further ones through the heaps so the lane's linear
+// scan-free pop stays cheap.
+const expressBacklog = 64
+
+// Engine is a discrete-event simulator. The zero value is ready to use
+// (one shard). Engines are not safe for concurrent use; a simulation is
+// a single-threaded interleaving of events by construction.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
-	stopped bool
-	// Processed counts events executed, for reporting and loop guards.
-	processed uint64
-	// maxPending is the event queue's high-water mark, an always-on
-	// observability counter (see MaxPending): how bursty the simulated
-	// system's scheduling got. One compare per push keeps it current.
+	now Time
+	seq uint64
+	// shards are the per-partition heaps; extra is lazily grown so the
+	// zero-value Engine (shard 0 only) keeps working.
+	shards []eventHeap
+	// express is the FIFO lane: entries are (at, seq)-nondecreasing, the
+	// live window is express[exHead:].
+	express []event
+	exHead  int
+	// occupied is a bitmask of shards with queued events (bit s ↔
+	// shards[s] non-empty; maxShards = 64 makes one word enough). The
+	// dispatcher's merge scan walks only set bits, so sparse queues —
+	// the common case, a closed-loop cell idles at one or two pending
+	// events — pay for the shards they use, not the shards they have.
+	occupied uint64
+	// pending counts queued events across all shards and the lane;
+	// maxPending is its high-water mark (see MaxPending).
+	pending    int
 	maxPending int
+	// processed counts events executed, for reporting and loop guards;
+	// fast-forwarded (analytically elided) events are added by JumpClock
+	// so the count is identical with and without fast-forward.
+	processed uint64
+	stopped   bool
+	// running and horizon describe the active Run/Drain call, for
+	// TryExpress validity checks.
+	running bool
+	horizon Time
 	// perturb, when set, rewrites every relative delay passed to
 	// Schedule (fault injection: internal/faults uses it to jitter
 	// transfer latencies deterministically). Absolute At times are never
@@ -146,12 +222,19 @@ type Engine struct {
 	// event's timestamp precedes the clock — impossible unless the heap
 	// is corrupted, which is exactly what invariant checking looks for.
 	monotone func(err error)
+	// idleHook, when set, runs after each event's callback returns, with
+	// the dispatch stack empty. The steady-state fast-forward layer uses
+	// it as its only foothold: between events it may inspect the queue,
+	// ShiftPending and JumpClock. It must not schedule events itself.
+	idleHook func()
 }
 
 // SetPerturb installs a delay-perturbation hook applied to every
 // Schedule call (nil removes it). The hook must be deterministic for
 // reproducible fault injection; negative results are clamped to zero
-// like any other delay.
+// like any other delay. While a perturbation hook is installed
+// TryExpress always declines, so a possibly stateful hook is consulted
+// exactly once per scheduled event.
 func (e *Engine) SetPerturb(fn func(d Time) Time) { e.perturb = fn }
 
 // SetEventHook installs a per-event hook run before each event's
@@ -164,62 +247,283 @@ func (e *Engine) SetEventHook(fn func(processed uint64)) { e.eventHook = fn }
 // a timestamp before the current clock (nil removes the check).
 func (e *Engine) SetMonotoneCheck(report func(err error)) { e.monotone = report }
 
-// NewEngine returns an engine with its clock at zero.
+// SetIdleHook installs a between-events hook (nil removes it): fn runs
+// after each event's callback returns, with no event mid-dispatch. It
+// exists for the analytic fast-forward layer, which needs a clean stack
+// to translate pending events and jump the clock; the hook must not
+// schedule events.
+func (e *Engine) SetIdleHook(fn func()) { e.idleHook = fn }
+
+// NewEngine returns an engine with its clock at zero and one shard.
 func NewEngine() *Engine { return &Engine{} }
+
+// NewEngineSharded returns an engine whose event queue is split into n
+// independent shards (clamped to [1, 64]) merged deterministically by
+// the global (timestamp, sequence) order. Results are identical for
+// every n; only the queueing cost profile changes.
+func NewEngineSharded(n int) *Engine {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	return &Engine{shards: make([]eventHeap, n)}
+}
+
+// Shards reports the engine's shard count.
+func (e *Engine) Shards() int {
+	if len(e.shards) == 0 {
+		return 1
+	}
+	return len(e.shards)
+}
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
-// Processed returns the number of events executed so far.
+// Processed returns the number of events executed so far. Analytically
+// fast-forwarded events count exactly as if they had been dispatched,
+// so the value is independent of whether fast-forward engaged.
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Schedule runs fn after delay d (d may be zero; negative delays are
 // clamped to zero so that callers computing d from latencies never move
-// the clock backwards).
-func (e *Engine) Schedule(d Time, fn func()) {
+// the clock backwards). The event lands in shard 0.
+func (e *Engine) Schedule(d Time, fn func()) { e.ScheduleShard(0, d, fn) }
+
+// ScheduleShard is Schedule with an explicit queue shard. The shard
+// index is reduced modulo the shard count; it affects cost only, never
+// ordering.
+func (e *Engine) ScheduleShard(shard int, d Time, fn func()) {
 	if e.perturb != nil {
 		d = e.perturb(d)
 	}
 	if d < 0 {
 		d = 0
 	}
-	e.At(e.now+d, fn)
+	e.AtShard(shard, e.now+d, fn)
 }
 
 // At runs fn at absolute time t. Times before Now are clamped to Now.
-func (e *Engine) At(t Time, fn func()) {
+// The event lands in shard 0.
+func (e *Engine) At(t Time, fn func()) { e.AtShard(0, t, fn) }
+
+// AtShard is At with an explicit queue shard.
+func (e *Engine) AtShard(shard int, t Time, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	e.queue.push(event{at: t, seq: e.seq, fn: fn})
-	if len(e.queue) > e.maxPending {
-		e.maxPending = len(e.queue)
+	if len(e.shards) == 0 {
+		e.shards = make([]eventHeap, 1)
 	}
+	s := shard % len(e.shards)
+	e.shards[s].push(event{at: t, seq: e.seq, fn: fn})
+	e.occupied |= 1 << uint(s)
+	e.pending++
+	if e.pending > e.maxPending {
+		e.maxPending = e.pending
+	}
+}
+
+// TryExpress schedules fn after delay d on the express lane and reports
+// whether it could. It declines — and schedules nothing — when the
+// engine is not inside Run/Drain, a perturbation hook is installed
+// (the hook may be stateful, and it must be consulted exactly once per
+// event, by the Schedule fallback), the event would land past the
+// active horizon, it would break the lane's time order, or the lane is
+// full. On success the event is dispatched with exactly the
+// (timestamp, sequence) position a Schedule call would have produced.
+func (e *Engine) TryExpress(d Time, fn func()) bool {
+	if !e.running || e.perturb != nil {
+		return false
+	}
+	if d < 0 {
+		d = 0
+	}
+	t := e.now + d
+	if t > e.horizon {
+		return false
+	}
+	if n := len(e.express); n > e.exHead {
+		if t < e.express[n-1].at {
+			return false
+		}
+		if n-e.exHead >= expressBacklog {
+			return false
+		}
+	}
+	e.seq++
+	e.express = append(e.express, event{at: t, seq: e.seq, fn: fn})
+	e.pending++
+	if e.pending > e.maxPending {
+		e.maxPending = e.pending
+	}
+	return true
 }
 
 // MaxPending reports the largest number of events that were ever queued
 // at once — the schedule's burstiness, exported into metrics snapshots
-// (internal/metrics) as "sim.queue_peak".
+// (internal/metrics) as "sim.queue_peak". The count spans all shards
+// and the express lane. Analytically fast-forwarded accesses never
+// queue, so layers that elide events keep themselves off when metrics
+// consumers need this number (see internal/workload).
 func (e *Engine) MaxPending() int { return e.maxPending }
 
-// Pending reports the number of events waiting to run.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports the number of events waiting to run, across all
+// shards and the express lane.
+func (e *Engine) Pending() int { return e.pending }
+
+// PeekTime returns the timestamp of the next event to run, if any.
+func (e *Engine) PeekTime() (Time, bool) {
+	at, _, src := e.peekMin()
+	return at, src != srcNone
+}
 
 // Stop halts Run before the next event. Events already dequeued complete.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Run executes events in timestamp order until the queue is empty, the
-// horizon is passed, or Stop is called. Events with timestamps exactly at
-// the horizon still run; later ones remain queued. It returns the time of
-// the clock when it stopped.
-func (e *Engine) Run(horizon Time) Time {
+// ShiftPending adds delta to the timestamp of every pending event.
+// A uniform translation preserves heap order and the express lane's
+// monotonicity, so this is safe at any queue size; it exists for the
+// fast-forward layer, which translates an exactly periodic schedule
+// over the elided cycles. delta must be non-negative.
+func (e *Engine) ShiftPending(delta Time) {
+	if delta < 0 {
+		panic("sim: ShiftPending with negative delta")
+	}
+	for s := range e.shards {
+		h := e.shards[s]
+		for i := range h {
+			h[i].at += delta
+		}
+	}
+	for i := e.exHead; i < len(e.express); i++ {
+		e.express[i].at += delta
+	}
+}
+
+// ShiftHead adds delta to the timestamp of only the next-to-run event,
+// re-establishing queue order, and reports whether it could. Unlike
+// ShiftPending it leaves every other pending event in place: the
+// fast-forward layer uses it to translate a periodic completion past
+// elided cycles while a fixed marker event (the warmup boundary) stays
+// where it is. It declines — changing nothing — when no event is
+// pending or when the head sits on the express lane ahead of another
+// lane entry it would overtake (the lane must stay time-ordered). As
+// with ShiftPending, the caller is responsible for the shifted time
+// being consistent with the subsequent JumpClock.
+func (e *Engine) ShiftHead(delta Time) bool {
+	if delta < 0 {
+		panic("sim: ShiftHead with negative delta")
+	}
+	_, _, src := e.peekMin()
+	switch src {
+	case srcNone:
+		return false
+	case srcExpress:
+		if e.exHead+1 < len(e.express) && e.express[e.exHead].at+delta > e.express[e.exHead+1].at {
+			return false
+		}
+		e.express[e.exHead].at += delta
+	default:
+		h := &e.shards[src]
+		ev := h.pop()
+		ev.at += delta
+		h.push(ev)
+	}
+	return true
+}
+
+// JumpClock advances the clock to t and credits skipped elided events
+// to the processed count, on behalf of a fast-forward layer that has
+// already applied their effects. t must not precede the current clock
+// or overtake any pending event.
+func (e *Engine) JumpClock(t Time, skipped uint64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: JumpClock backwards from %v to %v", e.now, t))
+	}
+	if at, ok := e.PeekTime(); ok && at < t {
+		panic(fmt.Sprintf("sim: JumpClock to %v overtakes pending event at %v", t, at))
+	}
+	e.now = t
+	e.processed += skipped
+}
+
+// queue sources for peekMin.
+const (
+	srcNone    = -2
+	srcExpress = -1
+)
+
+// peekMin locates the minimum (at, seq) event across the express lane
+// and every shard head. src is srcExpress, a shard index, or srcNone.
+func (e *Engine) peekMin() (at Time, seq uint64, src int) {
+	src = srcNone
+	if e.exHead < len(e.express) {
+		ev := &e.express[e.exHead]
+		at, seq, src = ev.at, ev.seq, srcExpress
+	}
+	for occ := e.occupied; occ != 0; occ &= occ - 1 {
+		s := bits.TrailingZeros64(occ)
+		h := e.shards[s]
+		if src == srcNone || h[0].before(at, seq) {
+			at, seq, src = h[0].at, h[0].seq, s
+		}
+	}
+	return at, seq, src
+}
+
+// popNext removes and returns the next event if its timestamp is within
+// limit.
+func (e *Engine) popNext(limit Time) (event, bool) {
+	at, _, src := e.peekMin()
+	if src == srcNone || at > limit {
+		return event{}, false
+	}
+	e.pending--
+	if src == srcExpress {
+		ev := e.express[e.exHead]
+		e.express[e.exHead] = event{}
+		e.exHead++
+		if e.exHead == len(e.express) {
+			e.express = e.express[:0]
+			e.exHead = 0
+		} else if e.exHead >= 2*expressBacklog {
+			// Slide the live window to the front. Without this the lane
+			// never compacts while events keep arriving (a closed-loop
+			// cell always has one pending), and the dead prefix grows to
+			// O(total events) — hundreds of MB over a full sweep. The
+			// window is at most expressBacklog entries, so the copy is
+			// bounded and amortized over the pops that grew the prefix.
+			n := copy(e.express, e.express[e.exHead:])
+			tail := e.express[n:]
+			for i := range tail {
+				tail[i] = event{}
+			}
+			e.express = e.express[:n]
+			e.exHead = 0
+		}
+		return ev, true
+	}
+	ev := e.shards[src].pop()
+	if len(e.shards[src]) == 0 {
+		e.occupied &^= 1 << uint(src)
+	}
+	return ev, true
+}
+
+// dispatch runs events up to and including limit.
+func (e *Engine) dispatch(limit Time) {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		if e.queue[0].at > horizon {
+	e.running = true
+	e.horizon = limit
+	for !e.stopped {
+		ev, ok := e.popNext(limit)
+		if !ok {
 			break
 		}
-		ev := e.queue.pop()
 		if e.monotone != nil && ev.at < e.now {
 			e.monotone(fmt.Errorf("sim: event time moved backwards: dequeued t=%v seq=%d with clock at %v", ev.at, ev.seq, e.now))
 		}
@@ -229,8 +533,20 @@ func (e *Engine) Run(horizon Time) Time {
 			e.eventHook(e.processed)
 		}
 		ev.fn()
+		if e.idleHook != nil {
+			e.idleHook()
+		}
 	}
-	if e.now < horizon && len(e.queue) == 0 {
+	e.running = false
+}
+
+// Run executes events in timestamp order until the queue is empty, the
+// horizon is passed, or Stop is called. Events with timestamps exactly at
+// the horizon still run; later ones remain queued. It returns the time of
+// the clock when it stopped.
+func (e *Engine) Run(horizon Time) Time {
+	e.dispatch(horizon)
+	if e.now < horizon && e.pending == 0 {
 		// Advance to the horizon so repeated Run calls observe monotonic time.
 		e.now = horizon
 	}
@@ -240,18 +556,32 @@ func (e *Engine) Run(horizon Time) Time {
 // Drain executes all remaining events regardless of time. It is mainly
 // useful in tests that want to observe the natural end of a workload.
 func (e *Engine) Drain() Time {
-	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		ev := e.queue.pop()
-		if e.monotone != nil && ev.at < e.now {
-			e.monotone(fmt.Errorf("sim: event time moved backwards: dequeued t=%v seq=%d with clock at %v", ev.at, ev.seq, e.now))
-		}
-		e.now = ev.at
-		e.processed++
-		if e.eventHook != nil {
-			e.eventHook(e.processed)
-		}
-		ev.fn()
-	}
+	e.dispatch(Time(math.MaxInt64))
 	return e.now
+}
+
+// Reset returns the engine to its initial state — clock at zero, no
+// pending events, all hooks removed — while keeping the shard layout
+// and every queue's allocated capacity. It is the arena-style teardown
+// the cell pool (internal/workload) relies on: reusing an engine across
+// cells is byte-identical to building a fresh one.
+func (e *Engine) Reset() {
+	for s := range e.shards {
+		h := e.shards[s]
+		for i := range h {
+			h[i] = event{}
+		}
+		e.shards[s] = h[:0]
+	}
+	for i := e.exHead; i < len(e.express); i++ {
+		e.express[i] = event{}
+	}
+	e.express = e.express[:0]
+	e.exHead = 0
+	e.occupied = 0
+	e.now, e.seq, e.processed = 0, 0, 0
+	e.pending, e.maxPending = 0, 0
+	e.stopped, e.running = false, false
+	e.horizon = 0
+	e.perturb, e.eventHook, e.monotone, e.idleHook = nil, nil, nil, nil
 }

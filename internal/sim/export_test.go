@@ -6,5 +6,13 @@ package sim
 // against; no production path can create it.
 func (e *Engine) PushRaw(at Time, fn func()) {
 	e.seq++
-	e.queue.push(event{at: at, seq: e.seq, fn: fn})
+	if len(e.shards) == 0 {
+		e.shards = make([]eventHeap, 1)
+	}
+	e.shards[0].push(event{at: at, seq: e.seq, fn: fn})
+	e.occupied |= 1
+	e.pending++
+	if e.pending > e.maxPending {
+		e.maxPending = e.pending
+	}
 }

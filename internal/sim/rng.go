@@ -62,3 +62,12 @@ func (r *RNG) Exp(mean Time) Time {
 // Split derives a new independent generator from r, for handing one
 // stream per simulated thread out of a single experiment seed.
 func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
+
+// Reseed resets r to the exact state of NewRNG(seed), letting pooled
+// simulation state reuse generator objects without allocating: a reseeded
+// RNG is indistinguishable from a fresh one.
+func (r *RNG) Reseed(seed uint64) { r.state = seed }
+
+// SplitInto reseeds dst from r's stream, the allocation-free equivalent
+// of dst = r.Split().
+func (r *RNG) SplitInto(dst *RNG) { dst.state = r.Uint64() }

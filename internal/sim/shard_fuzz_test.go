@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+)
+
+// FuzzShardMerge feeds arbitrary (timestamp, shard-key) event sets to
+// engines at several shard counts and requires the execution order to
+// replay identically everywhere — the sharded merge must be a total
+// deterministic order no matter how adversarial the timestamps (ties,
+// zero, bursts) or the shard assignment.
+func FuzzShardMerge(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 2, 2})
+	f.Add([]byte{255, 0, 255, 1, 255, 2, 0, 3})
+	f.Add([]byte{10, 200, 10, 200, 10, 200, 10, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		if len(data) > 2048 {
+			data = data[:2048]
+		}
+		type spec struct {
+			at    Time
+			shard int
+		}
+		var specs []spec
+		for i := 0; i+1 < len(data); i += 2 {
+			specs = append(specs, spec{
+				// Compress timestamps into a narrow range to force ties.
+				at:    Time(data[i]%32) * Nanosecond,
+				shard: int(data[i+1]),
+			})
+		}
+		replay := func(shards int) []int {
+			e := NewEngineSharded(shards)
+			var order []int
+			for i, sp := range specs {
+				i, sp := i, sp
+				e.AtShard(sp.shard, sp.at, func() {
+					order = append(order, i)
+					// Every fourth event spawns a child, exercising
+					// mid-run scheduling and the express lane.
+					if i%4 == 0 {
+						child := -i - 1
+						fn := func() { order = append(order, child) }
+						if !e.TryExpress(Nanosecond, fn) {
+							e.ScheduleShard(sp.shard+1, Nanosecond, fn)
+						}
+					}
+				})
+			}
+			e.Run(Second)
+			return order
+		}
+		ref := replay(1)
+		for _, shards := range []int{2, 3, 8, 64} {
+			if got := replay(shards); !equalInts(got, ref) {
+				t.Fatalf("shard count %d replays a different order than 1 shard\nref: %v\ngot: %v", shards, ref, got)
+			}
+		}
+	})
+}

@@ -75,6 +75,36 @@ func bucketLow(b int) sim.Time {
 	return sim.Time((uint64(1) << uint(octave)) | (uint64(sub) << (uint(octave) - 3)))
 }
 
+// Reset empties the histogram in place, reusing the bucket array. A
+// reset histogram is indistinguishable from NewHistogram().
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.n, h.sum, h.max = 0, 0, 0
+	h.min = math.MaxInt64
+}
+
+// CopyInto makes dst an exact copy of h, reusing dst's bucket array.
+func (h *Histogram) CopyInto(dst *Histogram) {
+	copy(dst.counts, h.counts)
+	dst.n, dst.sum, dst.min, dst.max = h.n, h.sum, h.min, h.max
+}
+
+// AddScaledDiff adds k extra copies of the growth of h since base was
+// captured (base must be an earlier CopyInto snapshot of h). It is the
+// fast-forward hook for replaying a memoized steady-state cycle: the
+// bucket and sum deltas are integers, so k-fold replay is exact, and
+// the extrema cannot move because the recorded cycle already observed
+// every latency the elided cycles would repeat.
+func (h *Histogram) AddScaledDiff(base *Histogram, k uint64) {
+	for i, c := range h.counts {
+		h.counts[i] = c + (c-base.counts[i])*k
+	}
+	h.n += (h.n - base.n) * k
+	h.sum += (h.sum - base.sum) * sim.Time(k)
+}
+
 // Record adds one observation.
 func (h *Histogram) Record(v sim.Time) {
 	h.counts[bucketOf(v)]++

@@ -44,6 +44,15 @@ func NewDense(t Topology) *Dense {
 // Base returns the wrapped topology.
 func (d *Dense) Base() Topology { return d.base }
 
+// Tables exposes the raw hop and cross-socket matrices (row-major,
+// n*n entries). The coherence simulator's innermost loops index them
+// directly, skipping the node-range checks of the accessor methods;
+// callers must treat both slices as read-only and keep indices in
+// range themselves.
+func (d *Dense) Tables() (hops []int32, cross []bool, n int) {
+	return d.hops, d.cross, d.n
+}
+
 // Name implements Topology; the dense view keeps the base's identity.
 func (d *Dense) Name() string { return d.base.Name() }
 

@@ -1,0 +1,376 @@
+// Steady-state cycle memoizer: the workload-level half of the analytic
+// fast-forward layer (the engine half is sim.ShiftHead/JumpClock).
+//
+// A closed-loop high-contention cell settles into an exactly periodic
+// schedule: with one shared line, no think time, and a FIFO arbiter,
+// the same rotation of threads is granted in the same order with the
+// same service intervals forever — the simulation spends its whole
+// measured window re-deriving a cycle it has already computed. The
+// memoizer detects that cycle and skips it analytically:
+//
+//  1. Fingerprint the cell state between events (the directory entry,
+//     the queue window in grant order, and the time to the pending
+//     completion — everything the access path can read, minus the
+//     monotone counters that provably do not feed back).
+//  2. When the fingerprint recurs, one cycle has been recorded: its
+//     event count, duration, counter deltas, and trace-event sequence.
+//  3. Record a second cycle and require it to match the first exactly
+//     (events compared field-by-field, counters delta-by-delta). Two
+//     independent matches plus the state fingerprint rule out
+//     coincidental recurrence.
+//  4. Jump: multiply the integer counter deltas by the number of
+//     whole cycles remaining, replay the cycle's energy additions in
+//     order (float addition is non-associative, so scaling would
+//     diverge from the simulated sum; replaying the identical addition
+//     sequence cannot), shift the pending completion, and jump the
+//     clock. The final partial cycle plays out live, so boundary
+//     behavior is identical to the unskipped run.
+//
+// An eligible run gets two passes. The pre-warmup pass arms as soon as
+// the startup convoy resolves (the first access's cold fill makes the
+// opening rotations aperiodic, so the first fingerprint may need to be
+// retaken) and jumps up to just short of the warmup boundary; the
+// warmup marker event stays pending throughout, which is why the jump
+// translates only the queue head (sim.ShiftHead) rather than every
+// pending event. The post-warmup pass re-arms at the warmup boundary
+// and jumps toward the end of the measured window. Both passes apply
+// the identical set of counter/energy effects, so the state at every
+// boundary matches the unskipped run bit-for-bit.
+//
+// Eligibility is conservative: any knob that makes an operation's
+// behavior value-dependent (CAS), draws randomness per operation
+// (jittered think time, read/write mix), or needs per-event visibility
+// (metrics, invariant checking, fault plans, stateful arbiters, store
+// buffering, finite bandwidth) disables the memoizer for that run. An
+// ineligible or aperiodic cell runs every event as before; the
+// differential harness test proves byte-identical results either way.
+package workload
+
+import (
+	"bytes"
+
+	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/coherence"
+	"atomicsmodel/internal/sim"
+	"atomicsmodel/internal/stats"
+)
+
+// fastForwardOn gates the memoizer globally. SetFastForward flips it;
+// the differential tests run each experiment both ways and compare
+// bytes.
+var fastForwardOn = true
+
+// SetFastForward enables or disables the steady-state cycle memoizer
+// for subsequent runs (it defaults to on). Results are byte-identical
+// either way; only the number of simulated events changes. Not safe to
+// call while cells are running.
+func SetFastForward(on bool) { fastForwardOn = on }
+
+// FastForwardEnabled reports the current gate, for tests.
+func FastForwardEnabled() bool { return fastForwardOn }
+
+// Memoizer phases. The probe runs between events (engine idle hook) and
+// walks: off → capture (fingerprint at an event boundary once the
+// queue has the expected steady shape) → record (wait for the
+// fingerprint to recur) → verify (require a second identical cycle) →
+// done (jumped, or given up). memoArm restarts the walk for each pass.
+const (
+	memoOff = iota
+	memoCapture
+	memoRecord
+	memoVerify
+	memoDone
+)
+
+// maxCaptureAttempts bounds how many times a pass may re-take its
+// starting fingerprint after a failed search before standing down.
+const maxCaptureAttempts = 4
+
+// memoState is the per-runner scratch for the memoizer. All slices are
+// reused across runs, so an armed memoizer allocates only on its first
+// few cycles ever.
+type memoState struct {
+	phase int
+	// Pass parameters (memoArm): the expected steady pending-event
+	// count (2 pre-warmup — completion plus warmup marker — and 1
+	// after), probes to skip before the first capture, re-capture
+	// budget, the cycle-search event bound, and the time the jump must
+	// stay short of.
+	want      int
+	skip      int
+	attempts  int
+	searchLim uint64
+	bound     sim.Time
+
+	key []byte // fingerprint at cycle start
+	tmp []byte // probe scratch
+
+	// Baselines captured at the current cycle's start.
+	t0          sim.Time
+	p0          uint64
+	opsB, attB  uint64
+	failB       uint64
+	perOpsB     []uint64
+	cohB        coherence.Stats
+	latB, slatB *stats.Histogram
+
+	// The recorded cycle (filled when the fingerprint first recurs).
+	period            uint64
+	dur               sim.Time
+	dOps, dAtt, dFail uint64
+	dPerOps           []uint64
+	dCoh              coherence.Stats
+	evsA, evsB        []coherence.TraceEvent
+	njs               []float64 // per-event energy charges, for Replay
+}
+
+// memoEligible reports whether cfg's steady state can be memoized: the
+// schedule must be a closed loop on one shared line with no per-op
+// randomness, a value-independent primitive, a stateless FIFO grant
+// order, and no observer that needs per-event visibility.
+func memoEligible(cfg *Config) bool {
+	if cfg.Mode != HighContention || cfg.Lines != 1 || cfg.LocalWork != 0 ||
+		cfg.OpenLoop || cfg.Metrics || cfg.Check || cfg.Faults != nil {
+		return false
+	}
+	switch cfg.Primitive {
+	case atomics.FAA, atomics.SWAP, atomics.TAS, atomics.Store:
+	default:
+		// CAS control flow depends on the line value, which the
+		// fingerprint deliberately excludes; Load does not serialize;
+		// Fence never reaches the line.
+		return false
+	}
+	switch cfg.Arbiter.(type) {
+	case nil, coherence.FIFOArbiter:
+	default:
+		return false
+	}
+	m := cfg.Machine
+	return m.StoreBufferDepth == 0 && m.LinkOccupancy == 0
+}
+
+// memoLine is the shared line a memoized cell cycles on (linesFor
+// numbers shared lines from 1; eligibility pins Lines to 1).
+const memoLine = coherence.LineID(1)
+
+// memoArm starts (or restarts) a memoization pass and installs the
+// recording tracer. The pre-warmup pass fingerprints with the warmup
+// marker still pending (want = 2) and may only jump short of the
+// warmup boundary; the post-warmup pass owns the queue alone (want = 1)
+// and jumps toward the end of the window. skip consumes probes before
+// the first capture — past the startup convoy in the pre pass, past
+// the warmup marker's own mid-service probe in the post pass.
+func (r *runner) memoArm(want, skip int, bound sim.Time) {
+	m := &r.memo
+	m.phase = memoCapture
+	m.want, m.skip, m.bound = want, skip, bound
+	m.attempts = 0
+	// The steady cycle is one rotation of the closed loop — a few
+	// events per thread — so a fingerprint that has not recurred within
+	// a handful of rotations was taken mid-transient. Keeping the
+	// search bound proportional to the thread count makes a failed
+	// capture cheap enough to retry.
+	m.searchLim = uint64(4*r.cfg.Threads + 64)
+	r.mem.System().SetTracer(r.traceRecFn)
+}
+
+// cycleKey fingerprints the cell between events: the time to the next
+// pending event (the completion; pass bounds keep the warmup marker
+// from ever being the nearer one on a cycle boundary) plus the line's
+// protocol state and queue window.
+func (r *runner) cycleKey(dst []byte) []byte {
+	at, _ := r.eng.PeekTime()
+	d := uint64(at - r.eng.Now())
+	dst = append(dst,
+		byte(d), byte(d>>8), byte(d>>16), byte(d>>24),
+		byte(d>>32), byte(d>>40), byte(d>>48), byte(d>>56))
+	return r.mem.System().AppendCycleKey(dst, memoLine)
+}
+
+// memoBase records the counter baselines at a cycle boundary.
+func (r *runner) memoBase() {
+	m := &r.memo
+	m.t0 = r.eng.Now()
+	m.p0 = r.eng.Processed()
+	m.opsB, m.attB, m.failB = r.ops, r.attempts, r.failures
+	m.perOpsB = append(m.perOpsB[:0], r.perOps...)
+	m.cohB = r.mem.System().Stats()
+	if m.latB == nil {
+		m.latB, m.slatB = stats.NewHistogram(), stats.NewHistogram()
+	}
+	r.lat.CopyInto(m.latB)
+	r.slat.CopyInto(m.slatB)
+}
+
+// memoCapture takes the starting fingerprint of a (re)started cycle
+// search at the current event boundary.
+func (r *runner) memoCapture() {
+	m := &r.memo
+	m.key = r.cycleKey(m.key[:0])
+	r.memoBase()
+	m.evsA, m.evsB = m.evsA[:0], m.evsB[:0]
+	m.phase = memoRecord
+}
+
+// memoAbort stands the memoizer down for the rest of the pass,
+// restoring the plain tracer. Correctness is unaffected — the cell
+// simply simulates every event (and the post-warmup pass still arms
+// even if the pre-warmup pass gave up).
+func (r *runner) memoAbort() {
+	r.memo.phase = memoDone
+	r.mem.System().SetTracer(r.traceFn)
+}
+
+// probe is the engine idle hook of an armed memoizer; it runs between
+// events with a clean stack, the only place pending events may be
+// translated and the clock jumped.
+func (r *runner) probe() {
+	m := &r.memo
+	if m.phase == memoOff || m.phase == memoDone {
+		return
+	}
+	if m.skip > 0 {
+		m.skip--
+		return
+	}
+	switch m.phase {
+	case memoCapture:
+		if r.eng.Pending() != m.want {
+			// Startup convoy still forming (threads yet to issue their
+			// first op); wait for the steady queue shape.
+			return
+		}
+		r.memoCapture()
+	case memoRecord, memoVerify:
+		if r.eng.Pending() != m.want {
+			r.memoAbort()
+			return
+		}
+		if r.eng.Processed()-m.p0 > m.searchLim {
+			// The fingerprint did not recur: it was taken mid-transient
+			// (e.g. the cold-miss fill still in service) or the schedule
+			// is aperiodic. Re-fingerprint from the current state a few
+			// times before standing down.
+			if m.phase == memoRecord && m.attempts < maxCaptureAttempts {
+				m.attempts++
+				r.memoCapture()
+				return
+			}
+			r.memoAbort()
+			return
+		}
+		m.tmp = r.cycleKey(m.tmp[:0])
+		if !bytes.Equal(m.tmp, m.key) {
+			return
+		}
+		if m.phase == memoRecord {
+			// First recurrence: one whole cycle is on record. Measure
+			// it, rebase, and demand an identical second cycle.
+			m.period = r.eng.Processed() - m.p0
+			m.dur = r.eng.Now() - m.t0
+			m.dOps = r.ops - m.opsB
+			m.dAtt = r.attempts - m.attB
+			m.dFail = r.failures - m.failB
+			m.dPerOps = m.dPerOps[:0]
+			for i, b := range m.perOpsB {
+				m.dPerOps = append(m.dPerOps, r.perOps[i]-b)
+			}
+			m.dCoh = subStats(r.mem.System().Stats(), m.cohB)
+			r.memoBase()
+			m.evsB = m.evsB[:0]
+			m.phase = memoVerify
+			return
+		}
+		r.memoJump()
+	}
+}
+
+// memoJump verifies the second recorded cycle against the first and, on
+// an exact match, applies the remaining whole cycles analytically.
+func (r *runner) memoJump() {
+	m := &r.memo
+	eng, sys := r.eng, r.mem.System()
+	now := eng.Now()
+
+	ok := eng.Processed()-m.p0 == m.period &&
+		now-m.t0 == m.dur &&
+		r.ops-m.opsB == m.dOps &&
+		r.attempts-m.attB == m.dAtt &&
+		r.failures-m.failB == m.dFail &&
+		subStats(sys.Stats(), m.cohB) == m.dCoh &&
+		len(m.evsA) == len(m.evsB)
+	if ok {
+		for i, b := range m.perOpsB {
+			if r.perOps[i]-b != m.dPerOps[i] {
+				ok = false
+				break
+			}
+		}
+	}
+	if ok {
+		for i := range m.evsA {
+			if !sameTraceShape(m.evsA[i], m.evsB[i]) {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok || m.dur <= 0 {
+		r.memoAbort()
+		return
+	}
+
+	// Keep one whole cycle plus the final partial cycle live at the
+	// tail. The jump lands on the verified periodic state shifted in
+	// time, so the approach to the boundary (warmup marker or end of
+	// window) develops exactly as in the unskipped run.
+	cycles := uint64((m.bound - now) / m.dur)
+	if cycles < 2 {
+		r.memoAbort()
+		return
+	}
+	k := cycles - 1
+	jump := sim.Time(k) * m.dur
+	if !eng.ShiftHead(jump) {
+		r.memoAbort()
+		return
+	}
+
+	r.ops += m.dOps * k
+	r.attempts += m.dAtt * k
+	r.failures += m.dFail * k
+	for i := range m.dPerOps {
+		r.perOps[i] += m.dPerOps[i] * k
+	}
+	r.lat.AddScaledDiff(m.latB, k)
+	r.slat.AddScaledDiff(m.slatB, k)
+	sys.AddScaledStats(m.dCoh, k)
+	// Replay the energy additions of each elided cycle in simulated
+	// order; the meter's float accumulator then holds exactly the sum
+	// the unskipped run would have produced. The per-event charges are
+	// computed once so the replay is a pure addition loop.
+	m.njs = m.njs[:0]
+	for _, ev := range m.evsB {
+		m.njs = append(m.njs, r.meter.EventNJ(ev))
+	}
+	r.meter.Replay(m.njs, k)
+
+	sys.ShiftInFlight(jump)
+	eng.JumpClock(now+jump, k*m.period)
+	r.memoAbort() // restores the tracer; phase = done
+}
+
+// sameTraceShape compares two trace events ignoring their monotone
+// fields: At (absolute time) and Result.Value (the line value, which
+// grows every cycle under FAA). Everything that feeds the meter or the
+// histograms is compared.
+func sameTraceShape(a, b coherence.TraceEvent) bool {
+	return a.Line == b.Line && a.Core == b.Core && a.Kind == b.Kind &&
+		a.Result.Latency == b.Result.Latency &&
+		a.Result.Hops == b.Result.Hops &&
+		a.Result.QueuedBehind == b.Result.QueuedBehind &&
+		a.Result.Source == b.Result.Source &&
+		a.Result.Wrote == b.Result.Wrote &&
+		a.Result.CrossSocket == b.Result.CrossSocket
+}

@@ -8,9 +8,10 @@
 # observability layer (-metrics tables, -chrome traces) end to end,
 # a full invariant-checked sweep, a cache-corruption/quarantine smoke,
 # a custom-machine-spec smoke (-machinefile load, digest-keyed resume,
-# spec round trip), and short native-fuzz passes over the run-log
-# parsers, topology hop computation, and the machine spec loader. Run
-# from the repo root.
+# spec round trip), a bench smoke enforcing the simulation path's
+# allocation budget, and short native-fuzz passes over the run-log
+# parsers, topology hop computation, the machine spec loader, and the
+# sharded event-queue merge. Run from the repo root.
 set -eu
 
 echo "== go build ./..."
@@ -137,10 +138,30 @@ if go run ./cmd/atomicsim -quick -quiet -exp F1 -machines bogus \
 fi
 grep -q 'registered:' "$dir/bogus.log"
 
-echo "== fuzz smoke (runlog parsers, topology hops, machine specs)"
+echo "== bench smoke (allocation budget on the simulation path)"
+# The coherence access path must stay allocation-free, and a full cell
+# must stay within a one-time pool-build budget (the steady state is
+# zero allocations; at 100 iterations the build cost amortizes to a few
+# objects per op). A regression to per-event allocation shows up as
+# hundreds of allocs/op and fails here before it lands.
+go test -run XXX -bench 'BenchmarkCoherenceAccess$' -benchtime 100x -benchmem \
+    ./internal/coherence | tee "$dir/bench_coh.txt"
+awk '/BenchmarkCoherenceAccess/ { if ($(NF-1) + 0 != 0) exit 1 }' "$dir/bench_coh.txt" || {
+    echo "coherence access path allocates (allocs/op > 0)" >&2
+    exit 1
+}
+go test -run XXX -bench 'BenchmarkFullCell$' -benchtime 100x -benchmem \
+    ./internal/harness | tee "$dir/bench_cell.txt"
+awk '/BenchmarkFullCell/ { if ($(NF-1) + 0 > 20) exit 1 }' "$dir/bench_cell.txt" || {
+    echo "full-cell allocations regressed (allocs/op > 20 at 100 iterations)" >&2
+    exit 1
+}
+
+echo "== fuzz smoke (runlog parsers, topology hops, machine specs, shard merge)"
 go test -run FuzzNothing -fuzz FuzzCacheLoad -fuzztime 5s ./internal/runlog > /dev/null
 go test -run FuzzNothing -fuzz FuzzManifestValidate -fuzztime 5s ./internal/runlog > /dev/null
 go test -run FuzzNothing -fuzz FuzzHops -fuzztime 5s ./internal/topology > /dev/null
 go test -run FuzzNothing -fuzz FuzzSpecLoad -fuzztime 5s ./internal/machine > /dev/null
+go test -run FuzzNothing -fuzz FuzzShardMerge -fuzztime 5s ./internal/sim > /dev/null
 
 echo "ok"
