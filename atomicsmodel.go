@@ -151,6 +151,40 @@ const (
 // RunWorkload executes a simulated benchmark.
 func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) { return workload.Run(cfg) }
 
+// WorkloadSpec is the declarative, serializable workload description —
+// the workload-side analog of MachineSpec. Its content digest keys
+// simulation cells in the resume cache.
+type WorkloadSpec = workload.Spec
+
+// ParseWorkloadSpec decodes and validates a JSON workload spec
+// (strictly: unknown fields and trailing garbage are errors).
+func ParseWorkloadSpec(data []byte) (*WorkloadSpec, error) { return workload.ParseSpec(data) }
+
+// LoadWorkloadFile reads, parses and validates a workload spec from a
+// JSON file.
+func LoadWorkloadFile(path string) (*WorkloadSpec, error) { return workload.LoadSpecFile(path) }
+
+// WorkloadSpecByName resolves a registered (embedded) workload spec by
+// name, case-insensitively; unknown names produce an error listing
+// every registered spec.
+func WorkloadSpecByName(name string) (*WorkloadSpec, error) { return workload.SpecByName(name) }
+
+// WorkloadSpecNames returns the names of all registered workload specs.
+func WorkloadSpecNames() []string { return workload.SpecNames() }
+
+// RunWorkloadSpec resolves a spec against a machine and executes it.
+// Ladder specs must be expanded (WorkloadSpec.Expand) first.
+func RunWorkloadSpec(s *WorkloadSpec, m *Machine) (*WorkloadResult, error) {
+	return workload.RunSpec(s, m)
+}
+
+// WorkloadExperiment wraps workload specs as a harness experiment (the
+// "W" suite) so they run with caching, manifests and rendering like
+// the paper's own experiments.
+func WorkloadExperiment(specs []*WorkloadSpec) *Experiment {
+	return harness.WorkloadExperiment(specs)
+}
+
 // MeasureStateLatency measures one primitive on a line staged in the
 // given initial state.
 func MeasureStateLatency(m *Machine, p Primitive, st LineState) (Time, error) {

@@ -7,6 +7,8 @@
 //	atomicsim -exp F3             # one experiment
 //	atomicsim -machines KNL,EPYC  # restrict/extend the machine list
 //	atomicsim -machinefile m.json # add a machine from a JSON spec file
+//	atomicsim -workloads high-faa # run registered workload specs (the W suite)
+//	atomicsim -workloadfile w.json# run a workload from a JSON spec file
 //	atomicsim -quick              # trimmed sweeps for a fast look
 //	atomicsim -par 4              # cap concurrent simulation cells
 //	atomicsim -csv results/       # additionally write one CSV per table
@@ -35,6 +37,7 @@ import (
 	"atomicsmodel/internal/harness"
 	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/runlog"
+	"atomicsmodel/internal/workload"
 )
 
 func main() {
@@ -43,6 +46,8 @@ func main() {
 		machs   = flag.String("machines", "", "comma-separated registered machine names (default: the paper pair; see -machines list on a bad name)")
 		machAlt = flag.String("machine", "", "alias for -machines")
 		machFil = flag.String("machinefile", "", "comma-separated JSON machine spec files to run alongside -machines")
+		wlNames = flag.String("workloads", "", "comma-separated registered workload spec names to run as the W suite (replaces the default experiment list unless -exp is given)")
+		wlFiles = flag.String("workloadfile", "", "comma-separated JSON workload spec files to run alongside -workloads")
 		quick   = flag.Bool("quick", false, "trimmed sweeps and shorter simulated durations")
 		seed    = flag.Uint64("seed", 42, "base random seed")
 		par     = flag.Int("par", runtime.NumCPU(), "max concurrent simulation cells (results are identical for any value)")
@@ -134,6 +139,18 @@ func main() {
 		opts.Machines = ms
 	}
 
+	var wlSpecs []*workload.Spec
+	if *wlNames != "" || *wlFiles != "" {
+		ws, err := workload.SelectSpecs(*wlNames, *wlFiles)
+		if err != nil {
+			fatal(err)
+		}
+		wlSpecs = ws
+	}
+
+	// -exp selects registered experiments; a workload selection appends
+	// the W suite. With only workloads given, just the suite runs; with
+	// neither, every registered experiment runs.
 	var exps []*harness.Experiment
 	if *expID != "" {
 		for _, id := range strings.Split(*expID, ",") {
@@ -143,8 +160,11 @@ func main() {
 			}
 			exps = append(exps, e)
 		}
-	} else {
+	} else if wlSpecs == nil {
 		exps = harness.All()
+	}
+	if wlSpecs != nil {
+		exps = append(exps, harness.WorkloadExperiment(wlSpecs))
 	}
 
 	suiteStart := time.Now()

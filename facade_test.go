@@ -63,6 +63,35 @@ func TestFacadeExperiments(t *testing.T) {
 	}
 }
 
+func TestFacadeWorkloadSpecs(t *testing.T) {
+	names := atomicsmodel.WorkloadSpecNames()
+	if len(names) == 0 {
+		t.Fatal("no registered workload specs")
+	}
+	if _, err := atomicsmodel.WorkloadSpecByName("HIGH-FAA"); err != nil {
+		t.Fatalf("case-insensitive lookup: %v", err)
+	}
+	if _, err := atomicsmodel.WorkloadSpecByName("bogus"); err == nil {
+		t.Fatal("bogus workload spec accepted")
+	}
+	sp, err := atomicsmodel.ParseWorkloadSpec([]byte(
+		`{"primitive":"FAA","threads":2,"warmupPS":1000000,"durationPS":5000000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := atomicsmodel.RunWorkloadSpec(sp, atomicsmodel.XeonE5())
+	if err != nil || res.Ops == 0 {
+		t.Fatalf("RunWorkloadSpec: %+v %v", res, err)
+	}
+	e := atomicsmodel.WorkloadExperiment([]*atomicsmodel.WorkloadSpec{sp})
+	tables, err := e.Run(atomicsmodel.ExperimentOptions{
+		Quick: true, Machines: []*atomicsmodel.Machine{atomicsmodel.XeonE5()},
+	})
+	if err != nil || len(tables) == 0 {
+		t.Fatalf("WorkloadExperiment via facade: %v %v", tables, err)
+	}
+}
+
 func TestFacadeNative(t *testing.T) {
 	res, err := atomicsmodel.RunNative(atomicsmodel.NativeConfig{
 		Threads: 2, Primitive: atomicsmodel.FAA, Duration: 10_000_000, // 10ms

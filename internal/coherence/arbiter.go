@@ -1,6 +1,10 @@
 package coherence
 
-import "atomicsmodel/internal/sim"
+import (
+	"fmt"
+
+	"atomicsmodel/internal/sim"
+)
 
 // Arbiter decides which queued request a line controller grants next.
 // This is where hardware fairness (or the lack of it) lives: the paper's
@@ -96,4 +100,38 @@ func (a *LocalityArbiter) Name() string {
 		return "locality-bounded"
 	}
 	return "locality"
+}
+
+// NewByName builds an arbiter from its policy name, the resolution used
+// by declarative workload specs. "fifo" returns the value FIFOArbiter{}
+// — deliberately not a pointer, and equivalent to leaving the arbiter
+// nil, so both System.SetArbiter and the fast-forward memoizer treat a
+// spec-built FIFO cell exactly like a hand-written one. skips bounds a
+// locality arbiter's starvation window (0 = unbounded) and is rejected
+// for the other policies; seed feeds the random arbiter's RNG stream
+// and is ignored by the stateless policies.
+func NewByName(name string, skips int, seed uint64) (Arbiter, error) {
+	if skips < 0 {
+		return nil, fmt.Errorf("coherence: negative arbiter skip bound %d", skips)
+	}
+	switch name {
+	case "fifo":
+		if skips != 0 {
+			return nil, fmt.Errorf("coherence: arbiter %q takes no skip bound", name)
+		}
+		return FIFOArbiter{}, nil
+	case "random":
+		if skips != 0 {
+			return nil, fmt.Errorf("coherence: arbiter %q takes no skip bound", name)
+		}
+		return NewRandomArbiter(seed), nil
+	case "locality":
+		return &LocalityArbiter{MaxSkips: skips}, nil
+	}
+	return nil, fmt.Errorf("coherence: unknown arbiter %q (want one of %v)", name, ArbiterNames())
+}
+
+// ArbiterNames lists the policy names NewByName accepts.
+func ArbiterNames() []string {
+	return []string{"fifo", "random", "locality"}
 }

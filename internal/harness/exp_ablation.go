@@ -34,46 +34,46 @@ func init() {
 }
 
 func runF13(o Options) ([]*Table, error) {
+	// All four policies are stateless (fifo and the locality variants),
+	// so the spec seed only feeds the workload's own streams, exactly as
+	// before the spec port.
 	arbs := []struct {
-		name string
-		mk   func(seed uint64) coherence.Arbiter
+		name  string // display name
+		arb   string // spec policy name
+		skips int
 	}{
-		{"fifo", func(uint64) coherence.Arbiter { return coherence.FIFOArbiter{} }},
-		{"locality", func(uint64) coherence.Arbiter { return &coherence.LocalityArbiter{} }},
-		{"loc-skip16", func(uint64) coherence.Arbiter { return &coherence.LocalityArbiter{MaxSkips: 16} }},
-		{"loc-skip256", func(uint64) coherence.Arbiter { return &coherence.LocalityArbiter{MaxSkips: 256} }},
+		{"fifo", "fifo", 0},
+		{"locality", "locality", 0},
+		{"loc-skip16", "locality", 16},
+		{"loc-skip256", "locality", 256},
 	}
 	sweep := []int{8, 16, 24, 36}
 	if o.Quick {
 		sweep = []int{8, 16}
 	}
 	machines := o.machines()
-	type spec struct {
-		m   *machine.Machine
-		n   int
-		arb int
-	}
-	var specs []spec
+	var cells []workloadCell
 	for _, m := range machines {
 		for _, n := range sweep {
 			if n > m.NumHWThreads() {
 				continue
 			}
-			for a := range arbs {
-				specs = append(specs, spec{m, n, a})
+			for _, a := range arbs {
+				sp := o.baseSpec()
+				sp.Primitive = atomics.FAA.String()
+				sp.Arbiter = a.arb
+				sp.ArbiterSkips = a.skips
+				sp.Threads = n
+				sp.Seed = o.Seed + uint64(n)
+				c, err := newWorkloadCell(m, sp)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, c)
 			}
 		}
 	}
-	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/n=%d/%s", s.m.Key(), s.n, arbs[s.arb].name)
-	}, func(ci int, s spec) (*workload.Result, error) {
-		return workload.Run(workload.Config{
-			Machine: s.m, Threads: s.n, Primitive: atomics.FAA,
-			Mode: workload.HighContention, Arbiter: arbs[s.arb].mk(o.Seed),
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-		})
-	})
+	results, err := runWorkloadCells(o, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -140,26 +140,26 @@ func runF14(o Options) ([]*Table, error) {
 		return nil, err
 	}
 
-	type mixSpec struct {
-		m  *machine.Machine
-		rf float64
-	}
-	var mixSpecs []mixSpec
+	var mixCells []workloadCell
 	for _, p := range pairs {
 		for _, rf := range fracs {
-			mixSpecs = append(mixSpecs, mixSpec{p.base, rf}, mixSpec{p.mesif, rf})
+			for _, m := range []*machine.Machine{p.base, p.mesif} {
+				sp := o.baseSpec()
+				sp.Primitive = atomics.FAA.String()
+				sp.Mode = workload.ReadWriteMix.String()
+				sp.ReadFraction = rf
+				sp.Threads = 16
+				sp.Seed = o.Seed
+				c, err := newWorkloadCell(m, sp)
+				if err != nil {
+					return nil, err
+				}
+				c.key = "mix/" + c.key
+				mixCells = append(mixCells, c)
+			}
 		}
 	}
-	mixes, err := FanoutKeyed(o, mixSpecs, func(s mixSpec) string {
-		return fmt.Sprintf("mix/%s/read=%v", s.m.Key(), s.rf)
-	}, func(ci int, s mixSpec) (*workload.Result, error) {
-		return workload.Run(workload.Config{
-			Machine: s.m, Threads: 16, Primitive: atomics.FAA,
-			Mode: workload.ReadWriteMix, ReadFraction: s.rf,
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-		})
-	})
+	mixes, err := runWorkloadCells(o, mixCells)
 	if err != nil {
 		return nil, err
 	}
@@ -174,15 +174,20 @@ func runF14(o Options) ([]*Table, error) {
 		}
 		topoMachines = append(topoMachines, m)
 	}
-	topoRes, err := FanoutKeyed(o, topoMachines, func(m *machine.Machine) string {
-		return "topo/" + m.Key()
-	}, func(ci int, m *machine.Machine) (*workload.Result, error) {
-		return workload.Run(workload.Config{
-			Machine: m, Threads: 16, Primitive: atomics.FAA, Mode: workload.HighContention,
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-		})
-	})
+	var topoCells []workloadCell
+	for _, m := range topoMachines {
+		sp := o.baseSpec()
+		sp.Primitive = atomics.FAA.String()
+		sp.Threads = 16
+		sp.Seed = o.Seed
+		c, err := newWorkloadCell(m, sp)
+		if err != nil {
+			return nil, err
+		}
+		c.key = "topo/" + c.key
+		topoCells = append(topoCells, c)
+	}
+	topoRes, err := runWorkloadCells(o, topoCells)
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,8 @@
 package harness
 
 import (
-	"fmt"
-
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/core"
-	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/workload"
 )
 
@@ -29,28 +26,24 @@ func runF6(o Options) ([]*Table, error) {
 		{atomics.CAS, workload.HighContention},
 		{atomics.FAA, workload.LowContention},
 	}
-	type spec struct {
-		m *machine.Machine
-		n int
-		c int
-	}
-	var specs []spec
+	var wcells []workloadCell
 	for _, m := range machines {
 		for _, n := range o.threadSweep(m) {
-			for c := range cells {
-				specs = append(specs, spec{m, n, c})
+			for _, c := range cells {
+				sp := o.baseSpec()
+				sp.Primitive = c.p.String()
+				sp.Mode = c.mode.String()
+				sp.Threads = n
+				sp.Seed = o.Seed + uint64(n)
+				wc, err := newWorkloadCell(m, sp)
+				if err != nil {
+					return nil, err
+				}
+				wcells = append(wcells, wc)
 			}
 		}
 	}
-	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/n=%d/%s-%s", s.m.Key(), s.n, cells[s.c].p, cells[s.c].mode)
-	}, func(ci int, s spec) (*workload.Result, error) {
-		return workload.Run(workload.Config{
-			Machine: s.m, Threads: s.n, Primitive: cells[s.c].p, Mode: cells[s.c].mode,
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-		})
-	})
+	results, err := runWorkloadCells(o, wcells)
 	if err != nil {
 		return nil, err
 	}

@@ -1,12 +1,7 @@
 package harness
 
 import (
-	"fmt"
-
 	"atomicsmodel/internal/atomics"
-	"atomicsmodel/internal/coherence"
-	"atomicsmodel/internal/machine"
-	"atomicsmodel/internal/workload"
 )
 
 func init() {
@@ -19,57 +14,52 @@ func init() {
 }
 
 func runF5(o Options) ([]*Table, error) {
+	// Per row: one FAA cell per arbitration policy plus the trailing
+	// CAS/fifo cell. Arbiters resolve by name inside each cell's spec so
+	// every engine gets its own instance (they can be stateful); the
+	// random arbiter's stream is seeded from the cell seed.
 	arbs := []struct {
-		name string
-		mk   func(seed uint64) coherence.Arbiter
+		name  string // display name
+		arb   string // spec policy name
+		skips int
 	}{
-		{"fifo", func(uint64) coherence.Arbiter { return coherence.FIFOArbiter{} }},
-		{"random", func(seed uint64) coherence.Arbiter { return coherence.NewRandomArbiter(seed) }},
-		{"locality", func(uint64) coherence.Arbiter { return &coherence.LocalityArbiter{} }},
-		{"loc-bounded", func(uint64) coherence.Arbiter { return &coherence.LocalityArbiter{MaxSkips: 64} }},
+		{"fifo", "fifo", 0},
+		{"random", "random", 0},
+		{"locality", "locality", 0},
+		{"loc-bounded", "locality", 64},
 	}
 	machines := o.machines()
-	// Per row: one cell per arbiter plus the trailing CAS/fifo cell.
-	// arb == len(arbs) marks the CAS cell. Arbiters are constructed
-	// inside the cell so each engine gets its own (they are stateful).
-	type spec struct {
-		m   *machine.Machine
-		n   int
-		arb int
-	}
-	var specs []spec
+	var cells []workloadCell
 	for _, m := range machines {
 		for _, n := range o.threadSweep(m) {
 			if n < 2 {
 				continue
 			}
-			for a := 0; a <= len(arbs); a++ {
-				specs = append(specs, spec{m, n, a})
+			for _, a := range arbs {
+				sp := o.baseSpec()
+				sp.Primitive = atomics.FAA.String()
+				sp.Arbiter = a.arb
+				sp.ArbiterSkips = a.skips
+				sp.Threads = n
+				sp.Seed = o.Seed + uint64(n)
+				c, err := newWorkloadCell(m, sp)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, c)
 			}
+			sp := o.baseSpec()
+			sp.Primitive = atomics.CAS.String()
+			sp.Threads = n
+			sp.Seed = o.Seed + uint64(n)
+			c, err := newWorkloadCell(m, sp)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, c)
 		}
 	}
-	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		name := "cas-fifo"
-		if s.arb < len(arbs) {
-			name = "faa-" + arbs[s.arb].name
-		}
-		return fmt.Sprintf("%s/n=%d/%s", s.m.Key(), s.n, name)
-	}, func(ci int, s spec) (*workload.Result, error) {
-		if s.arb == len(arbs) {
-			return workload.Run(workload.Config{
-				Machine: s.m, Threads: s.n, Primitive: atomics.CAS,
-				Mode:   workload.HighContention,
-				Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-				Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-			})
-		}
-		return workload.Run(workload.Config{
-			Machine: s.m, Threads: s.n, Primitive: atomics.FAA,
-			Mode: workload.HighContention, Arbiter: arbs[s.arb].mk(o.Seed + uint64(s.n)),
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-		})
-	})
+	results, err := runWorkloadCells(o, cells)
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,6 @@
 package harness
 
 import (
-	"fmt"
-
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/sim"
@@ -84,28 +82,23 @@ func runF1(o Options) ([]*Table, error) {
 func runF2(o Options) ([]*Table, error) {
 	prims := atomics.All()
 	machines := o.machines()
-	type spec struct {
-		m *machine.Machine
-		n int
-		p atomics.Primitive
-	}
-	var specs []spec
+	var cells []workloadCell
 	for _, m := range machines {
 		for _, n := range o.threadSweep(m) {
 			for _, p := range prims {
-				specs = append(specs, spec{m, n, p})
+				sp := o.baseSpec()
+				sp.Primitive = p.String()
+				sp.Threads = n
+				sp.Seed = o.Seed + uint64(n)
+				c, err := newWorkloadCell(m, sp)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, c)
 			}
 		}
 	}
-	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/n=%d/%s", s.m.Key(), s.n, s.p)
-	}, func(ci int, s spec) (*workload.Result, error) {
-		return workload.Run(workload.Config{
-			Machine: s.m, Threads: s.n, Primitive: s.p, Mode: workload.HighContention,
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-		})
-	})
+	results, err := runWorkloadCells(o, cells)
 	if err != nil {
 		return nil, err
 	}

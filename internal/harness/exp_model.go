@@ -1,14 +1,11 @@
 package harness
 
 import (
-	"fmt"
 	"math"
 
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/core"
-	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/stats"
-	"atomicsmodel/internal/workload"
 )
 
 func init() {
@@ -29,28 +26,23 @@ func init() {
 func runF7(o Options) ([]*Table, error) {
 	prims := []atomics.Primitive{atomics.FAA, atomics.CAS, atomics.SWAP, atomics.TAS}
 	machines := o.machines()
-	type spec struct {
-		m *machine.Machine
-		p atomics.Primitive
-		n int
-	}
-	var specs []spec
+	var cells []workloadCell
 	for _, m := range machines {
 		for _, p := range prims {
 			for _, n := range o.threadSweep(m) {
-				specs = append(specs, spec{m, p, n})
+				sp := o.baseSpec()
+				sp.Primitive = p.String()
+				sp.Threads = n
+				sp.Seed = o.Seed + uint64(n)
+				c, err := newWorkloadCell(m, sp)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, c)
 			}
 		}
 	}
-	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/%s/n=%d", s.m.Key(), s.p, s.n)
-	}, func(ci int, s spec) (*workload.Result, error) {
-		return workload.Run(workload.Config{
-			Machine: s.m, Threads: s.n, Primitive: s.p, Mode: workload.HighContention,
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-		})
-	})
+	results, err := runWorkloadCells(o, cells)
 	if err != nil {
 		return nil, err
 	}

@@ -1,13 +1,10 @@
 package harness
 
 import (
-	"fmt"
-
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/core"
 	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/sim"
-	"atomicsmodel/internal/workload"
 )
 
 func init() {
@@ -40,34 +37,32 @@ func runF19(o Options) ([]*Table, error) {
 		}
 		return core.NewDetailed(m).PredictHigh(atomics.FAA, cores, 0), nil
 	}
-	type spec struct {
-		m *machine.Machine
-		f float64
-	}
-	var specs []spec
+	var cells []workloadCell
 	for _, m := range eligible {
-		for _, f := range fractions {
-			specs = append(specs, spec{m, f})
-		}
-	}
-	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/offered=%v", s.m.Key(), s.f)
-	}, func(ci int, s spec) (*workload.Result, error) {
-		sat, err := saturation(s.m)
+		sat, err := saturation(m)
 		if err != nil {
 			return nil, err
 		}
-		offered := s.f * sat.ThroughputMops // total Mops
-		// Per-thread mean inter-arrival = threads / offered.
-		inter := sim.Time(float64(threads) / (offered * 1e6) * 1e12)
-		return workload.Run(workload.Config{
-			Machine: s.m, Threads: threads, Primitive: atomics.FAA,
-			Mode:     workload.HighContention,
-			OpenLoop: true, OpenLoopInterarrival: inter,
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-		})
-	})
+		for _, f := range fractions {
+			offered := f * sat.ThroughputMops // total Mops
+			// Per-thread mean inter-arrival = threads / offered. The spec
+			// carries it as exact integer picoseconds, so the digest (and
+			// the cell's identity) is stable across runs.
+			inter := sim.Time(float64(threads) / (offered * 1e6) * 1e12)
+			sp := o.baseSpec()
+			sp.Primitive = atomics.FAA.String()
+			sp.Threads = threads
+			sp.OpenLoop = true
+			sp.OpenLoopInterarrivalPS = inter
+			sp.Seed = o.Seed
+			c, err := newWorkloadCell(m, sp)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, c)
+		}
+	}
+	results, err := runWorkloadCells(o, cells)
 	if err != nil {
 		return nil, err
 	}

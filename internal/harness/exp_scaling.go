@@ -1,12 +1,9 @@
 package harness
 
 import (
-	"fmt"
-
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/core"
 	"atomicsmodel/internal/machine"
-	"atomicsmodel/internal/workload"
 )
 
 func init() {
@@ -29,30 +26,29 @@ func runF17(o Options) ([]*Table, error) {
 		cols = append(cols, itoa(s)+"S sim (Mops)", itoa(s)+"S model", itoa(s)+"S xsock")
 	}
 	// Scatter placement spreads contenders across every socket: the
-	// worst case the extrapolation warns about.
-	type spec struct {
-		n       int
-		sockets int
-	}
-	var specs []spec
+	// worst case the extrapolation warns about. The machine key inside
+	// each cell key distinguishes the socket counts (Xeon1S/2S/4S build
+	// from distinct specs).
+	var cells []workloadCell
 	for _, n := range threadRows {
 		for _, s := range socketCounts {
-			if n > machine.XeonMultiSocket(s).NumHWThreads() {
+			m := machine.XeonMultiSocket(s)
+			if n > m.NumHWThreads() {
 				continue
 			}
-			specs = append(specs, spec{n, s})
+			sp := o.baseSpec()
+			sp.Primitive = atomics.FAA.String()
+			sp.Placement = "scatter"
+			sp.Threads = n
+			sp.Seed = o.Seed + uint64(n)
+			c, err := newWorkloadCell(m, sp)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, c)
 		}
 	}
-	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("sockets=%d/n=%d", s.sockets, s.n)
-	}, func(ci int, s spec) (*workload.Result, error) {
-		return workload.Run(workload.Config{
-			Machine: machine.XeonMultiSocket(s.sockets), Threads: s.n, Primitive: atomics.FAA,
-			Mode: workload.HighContention, Placement: machine.Scatter{},
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-		})
-	})
+	results, err := runWorkloadCells(o, cells)
 	if err != nil {
 		return nil, err
 	}

@@ -27,30 +27,39 @@ func runF22(o Options) ([]*Table, error) {
 		LatNs, Mops    float64 // store workload
 		FAANs, FenceNs float64 // burst probe
 	}
+	// Store cells are spec-built and keyed by spec digest like every
+	// workload cell; the burst probes are custom simulations and keep
+	// their machine-keyed probe keys.
 	type probe struct {
 		m     *machine.Machine
 		burst bool
+		spec  workload.Spec // store probes only
+		key   string
 	}
 	var specs []probe
 	for _, base := range machines {
 		buffered := cloneWithStoreBuffer(base, 42)
+		for _, m := range []*machine.Machine{base, buffered} {
+			sp := storeSpec(o)
+			wc, err := newWorkloadCell(m, sp)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, probe{m: m, spec: sp, key: "store/" + wc.key})
+		}
 		specs = append(specs,
-			probe{base, false}, probe{buffered, false},
-			probe{base, true}, probe{buffered, true})
+			probe{m: base, burst: true, key: "burst/" + base.Key()},
+			probe{m: buffered, burst: true, key: "burst/" + buffered.Key()})
 	}
 	results, err := FanoutKeyed(o, specs, func(s probe) string {
-		kind := "store"
-		if s.burst {
-			kind = "burst"
-		}
-		return kind + "/" + s.m.Key()
+		return s.key
 	}, func(ci int, s probe) (cell, error) {
 		var c cell
 		var err error
 		if s.burst {
 			c.FAANs, c.FenceNs, err = burstThenOrder(s.m)
 		} else {
-			c.LatNs, c.Mops, err = storeWorkload(s.m, o, ci)
+			c.LatNs, c.Mops, err = storeWorkload(s.m, s.spec, o, ci)
 		}
 		return c, err
 	})
@@ -81,16 +90,20 @@ func cloneWithStoreBuffer(m *machine.Machine, depth int) *machine.Machine {
 	return &c
 }
 
+// storeSpec describes the 16-thread contended-store workload cell.
+func storeSpec(o Options) workload.Spec {
+	sp := o.baseSpec()
+	sp.Primitive = atomics.Store.String()
+	sp.Threads = 16
+	sp.Seed = o.Seed
+	return sp
+}
+
 // storeWorkload measures mean thread-visible store latency (ns) and
 // successful store throughput (Mops) at 16 threads on one line. ci is
 // the calling cell's index, for fault targeting.
-func storeWorkload(m *machine.Machine, o Options, ci int) (latNs, mops float64, err error) {
-	res, err := workload.Run(workload.Config{
-		Machine: m, Threads: 16, Primitive: atomics.Store,
-		Mode:   workload.HighContention,
-		Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-		Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-	})
+func storeWorkload(m *machine.Machine, sp workload.Spec, o Options, ci int) (latNs, mops float64, err error) {
+	res, err := runSpecCell(o, ci, m, sp)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -2,9 +2,7 @@ package harness
 
 import (
 	"atomicsmodel/internal/atomics"
-	"atomicsmodel/internal/coherence"
 	"atomicsmodel/internal/machine"
-	"atomicsmodel/internal/workload"
 )
 
 func init() {
@@ -18,13 +16,16 @@ func init() {
 
 func runF21(o Options) ([]*Table, error) {
 	const threads = 16
+	// The random arbiter's stream is seeded from the cell seed (o.Seed),
+	// matching the hand-built arbiters this runner used before specs.
 	arbs := []struct {
-		name string
-		mk   func(seed uint64) coherence.Arbiter
+		name  string // display name
+		arb   string // spec policy name
+		skips int
 	}{
-		{"fifo", func(uint64) coherence.Arbiter { return coherence.FIFOArbiter{} }},
-		{"random", func(seed uint64) coherence.Arbiter { return coherence.NewRandomArbiter(seed) }},
-		{"loc-skip64", func(uint64) coherence.Arbiter { return &coherence.LocalityArbiter{MaxSkips: 64} }},
+		{"fifo", "fifo", 0},
+		{"random", "random", 0},
+		{"loc-skip64", "locality", 64},
 	}
 	var eligible []*machine.Machine
 	for _, m := range o.machines() {
@@ -32,26 +33,23 @@ func runF21(o Options) ([]*Table, error) {
 			eligible = append(eligible, m)
 		}
 	}
-	type spec struct {
-		m   *machine.Machine
-		arb int
-	}
-	var specs []spec
+	var cells []workloadCell
 	for _, m := range eligible {
-		for a := range arbs {
-			specs = append(specs, spec{m, a})
+		for _, a := range arbs {
+			sp := o.baseSpec()
+			sp.Primitive = atomics.FAA.String()
+			sp.Arbiter = a.arb
+			sp.ArbiterSkips = a.skips
+			sp.Threads = threads
+			sp.Seed = o.Seed
+			c, err := newWorkloadCell(m, sp)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, c)
 		}
 	}
-	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return s.m.Key() + "/" + arbs[s.arb].name
-	}, func(ci int, s spec) (*workload.Result, error) {
-		return workload.Run(workload.Config{
-			Machine: s.m, Threads: threads, Primitive: atomics.FAA,
-			Mode: workload.HighContention, Arbiter: arbs[s.arb].mk(o.Seed),
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-		})
-	})
+	results, err := runWorkloadCells(o, cells)
 	if err != nil {
 		return nil, err
 	}

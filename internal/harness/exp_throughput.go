@@ -1,8 +1,6 @@
 package harness
 
 import (
-	"fmt"
-
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/core"
 	"atomicsmodel/internal/machine"
@@ -40,28 +38,23 @@ func init() {
 func runF3(o Options) ([]*Table, error) {
 	prims := atomics.All()
 	machines := o.machines()
-	type spec struct {
-		m *machine.Machine
-		n int
-		p atomics.Primitive
-	}
-	var specs []spec
+	var cells []workloadCell
 	for _, m := range machines {
 		for _, n := range o.threadSweep(m) {
 			for _, p := range prims {
-				specs = append(specs, spec{m, n, p})
+				sp := o.baseSpec()
+				sp.Primitive = p.String()
+				sp.Threads = n
+				sp.Seed = o.Seed + uint64(n)
+				c, err := newWorkloadCell(m, sp)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, c)
 			}
 		}
 	}
-	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/n=%d/%s", s.m.Key(), s.n, s.p)
-	}, func(ci int, s spec) (*workload.Result, error) {
-		return workload.Run(workload.Config{
-			Machine: s.m, Threads: s.n, Primitive: s.p, Mode: workload.HighContention,
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-		})
-	})
+	results, err := runWorkloadCells(o, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -90,25 +83,21 @@ func runF3(o Options) ([]*Table, error) {
 
 func runF4(o Options) ([]*Table, error) {
 	machines := o.machines()
-	type spec struct {
-		m *machine.Machine
-		n int
-	}
-	var specs []spec
+	var cells []workloadCell
 	for _, m := range machines {
 		for _, n := range o.threadSweep(m) {
-			specs = append(specs, spec{m, n})
+			sp := o.baseSpec()
+			sp.Primitive = atomics.CAS.String()
+			sp.Threads = n
+			sp.Seed = o.Seed + uint64(n)
+			c, err := newWorkloadCell(m, sp)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, c)
 		}
 	}
-	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/n=%d", s.m.Key(), s.n)
-	}, func(ci int, s spec) (*workload.Result, error) {
-		return workload.Run(workload.Config{
-			Machine: s.m, Threads: s.n, Primitive: atomics.CAS, Mode: workload.HighContention,
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-		})
-	})
+	results, err := runWorkloadCells(o, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -155,26 +144,22 @@ func runF8(o Options) ([]*Table, error) {
 			eligible = append(eligible, m)
 		}
 	}
-	type spec struct {
-		m *machine.Machine
-		w sim.Time
-	}
-	var specs []spec
+	var cells []workloadCell
 	for _, m := range eligible {
 		for _, w := range works {
-			specs = append(specs, spec{m, w})
+			sp := o.baseSpec()
+			sp.Primitive = atomics.FAA.String()
+			sp.Threads = threads
+			sp.LocalWorkPS = w
+			sp.Seed = o.Seed
+			c, err := newWorkloadCell(m, sp)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, c)
 		}
 	}
-	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/work=%d", s.m.Key(), int64(s.w))
-	}, func(ci int, s spec) (*workload.Result, error) {
-		return workload.Run(workload.Config{
-			Machine: s.m, Threads: threads, Primitive: atomics.FAA,
-			Mode: workload.HighContention, LocalWork: s.w,
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-		})
-	})
+	results, err := runWorkloadCells(o, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -211,26 +196,23 @@ func runF12(o Options) ([]*Table, error) {
 			eligible = append(eligible, m)
 		}
 	}
-	type spec struct {
-		m  *machine.Machine
-		rf float64
-	}
-	var specs []spec
+	var cells []workloadCell
 	for _, m := range eligible {
 		for _, rf := range fracs {
-			specs = append(specs, spec{m, rf})
+			sp := o.baseSpec()
+			sp.Primitive = atomics.FAA.String()
+			sp.Mode = workload.ReadWriteMix.String()
+			sp.ReadFraction = rf
+			sp.Threads = threads
+			sp.Seed = o.Seed
+			c, err := newWorkloadCell(m, sp)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, c)
 		}
 	}
-	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/read=%v", s.m.Key(), s.rf)
-	}, func(ci int, s spec) (*workload.Result, error) {
-		return workload.Run(workload.Config{
-			Machine: s.m, Threads: threads, Primitive: atomics.FAA,
-			Mode: workload.ReadWriteMix, ReadFraction: s.rf,
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-		})
-	})
+	results, err := runWorkloadCells(o, cells)
 	if err != nil {
 		return nil, err
 	}

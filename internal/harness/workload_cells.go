@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"fmt"
+
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/workload"
+)
+
+// This file is the bridge between declarative workload specs and the
+// keyed cell scheduler. Every workload.Config-based experiment runner
+// describes its cells as workload.Specs and keys them by content
+// digest: the cell key is machineKey + "/wl@" + spec.Digest(), so two
+// cells that differ in any effective knob — arbiter, jitter, read
+// fraction, seed, window — can never alias a cache entry, and two
+// spellings of the same cell always share one. Runner-local
+// fmt.Sprintf key fragments (which historically omitted knobs the
+// config swept) are gone.
+
+// workloadCell pairs a machine with a pinned workload spec and carries
+// the cell's precomputed cache key (FanoutKeyed's key func cannot
+// return an error, so the digest is computed while building the list).
+type workloadCell struct {
+	m    *machine.Machine
+	spec *workload.Spec
+	key  string
+}
+
+// newWorkloadCell validates and keys one cell. The spec must be pinned
+// (single thread count) and carry its full effective configuration —
+// including seed and measurement window — since the digest is the
+// cell's cache identity.
+func newWorkloadCell(m *machine.Machine, s workload.Spec) (workloadCell, error) {
+	d, err := s.Digest()
+	if err != nil {
+		return workloadCell{}, err
+	}
+	return workloadCell{m: m, spec: &s, key: m.Key() + "/wl@" + d}, nil
+}
+
+// runWorkloadCells fans the cells out through the keyed scheduler;
+// results come back in cell order regardless of Par.
+func runWorkloadCells(o Options, cells []workloadCell) ([]*workload.Result, error) {
+	return FanoutKeyed(o, cells, func(c workloadCell) string {
+		return c.key
+	}, func(ci int, c workloadCell) (*workload.Result, error) {
+		return runSpecCell(o, ci, c.m, *c.spec)
+	})
+}
+
+// runSpecCell resolves one pinned spec against a machine and runs it,
+// forwarding the option set's observability, checking and fault knobs
+// (which join the cache key at the cellKey layer, not the digest).
+func runSpecCell(o Options, ci int, m *machine.Machine, sp workload.Spec) (*workload.Result, error) {
+	cfg, err := sp.Config(m)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Metrics = o.MetricsOn()
+	cfg.Check = o.CheckOn()
+	cfg.Faults = o.CellFaults(ci)
+	return workload.Run(cfg)
+}
+
+// baseSpec returns a workload spec pinned to this option set's
+// measurement window; runners fill in the swept knobs and the per-cell
+// seed.
+func (o Options) baseSpec() workload.Spec {
+	return workload.Spec{WarmupPS: o.warmup(), DurationPS: o.duration()}
+}
+
+// WorkloadExperiment wraps user-selected workload specs as a runnable
+// pseudo-experiment with ID "W" (the CLIs' -workloads/-workloadfile
+// path). It is deliberately not in the registry: its cells depend on
+// the user's spec selection, not only on Options.
+func WorkloadExperiment(specs []*workload.Spec) *Experiment {
+	return &Experiment{
+		ID:    "W",
+		Title: "Declarative workload specs",
+		Claim: "user-defined workload cells run with the same digest-keyed caching and resume semantics as the paper's experiments",
+		Run: func(o Options) ([]*Table, error) {
+			return runWorkloadSuite(o, specs)
+		},
+	}
+}
+
+// runWorkloadSuite runs every spec (thread ladders expanded, points
+// beyond a machine's hardware threads skipped) on every selected
+// machine, one table per machine × spec. Specs that leave the
+// measurement window or seed unset inherit the harness defaults: the
+// option set's warmup/duration and the sweep-style per-thread-count
+// seed derivation.
+func runWorkloadSuite(o Options, specs []*workload.Spec) ([]*Table, error) {
+	machines := o.machines()
+	type group struct {
+		m      *machine.Machine
+		spec   *workload.Spec
+		points []*workload.Spec
+	}
+	var groups []group
+	var cells []workloadCell
+	for _, m := range machines {
+		for _, s := range specs {
+			if err := s.Validate(); err != nil {
+				return nil, err
+			}
+			g := group{m: m, spec: s}
+			for _, pt := range s.Expand() {
+				if pt.Threads > m.NumHWThreads() {
+					continue
+				}
+				cell := *pt
+				if cell.WarmupPS == 0 {
+					cell.WarmupPS = o.warmup()
+				}
+				if cell.DurationPS == 0 {
+					cell.DurationPS = o.duration()
+				}
+				if cell.Seed == 0 {
+					cell.Seed = o.Seed + uint64(cell.Threads)
+				}
+				c, err := newWorkloadCell(m, cell)
+				if err != nil {
+					return nil, err
+				}
+				g.points = append(g.points, c.spec)
+				cells = append(cells, c)
+			}
+			groups = append(groups, g)
+		}
+	}
+	results, err := runWorkloadCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*Table
+	k := 0
+	for _, g := range groups {
+		t := NewTable(fmt.Sprintf("W (%s): %s", g.m.Name, g.spec.Label()),
+			"threads", "Mops", "mean lat (ns)", "p99 (ns)", "Jain", "success rate", "nJ/op")
+		for _, pt := range g.points {
+			res := results[k]
+			k++
+			t.AddRow(itoa(pt.Threads), f2(res.ThroughputMops), ns(res.Latency.Mean()),
+				ns(res.Latency.Quantile(0.99)), f3(res.Jain), f3(res.SuccessRate()),
+				f1(res.Energy.PerOpNJ))
+		}
+		if len(g.points) == 0 {
+			t.AddNote("no point of this spec fits %s's %d hardware threads", g.m.Name, g.m.NumHWThreads())
+		} else if d, derr := g.spec.Digest(); derr == nil {
+			t.AddNote("spec digest %s", d)
+		}
+		if g.spec.Doc != "" {
+			t.AddNote("%s", g.spec.Doc)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -116,7 +116,10 @@ func (p SingleSocket) Place(m *Machine, n int) ([]int, error) {
 	return out, nil
 }
 
-// PlacementByName resolves a placement flag value.
+// PlacementByName resolves a placement flag or workload-spec value.
+// "socket-N" accepts any non-negative socket index; whether the machine
+// actually has that socket is checked at Place time, since the name is
+// resolved before a machine is chosen.
 func PlacementByName(name string) (Placement, error) {
 	switch name {
 	case "compact", "":
@@ -125,10 +128,17 @@ func PlacementByName(name string) (Placement, error) {
 		return Scatter{}, nil
 	case "smt-first", "smt":
 		return SMTFirst{}, nil
-	case "socket-0":
-		return SingleSocket{Socket: 0}, nil
-	case "socket-1":
-		return SingleSocket{Socket: 1}, nil
 	}
-	return nil, fmt.Errorf("machine: unknown placement %q", name)
+	var socket int
+	if n, err := fmt.Sscanf(name, "socket-%d", &socket); err == nil && n == 1 &&
+		name == fmt.Sprintf("socket-%d", socket) && socket >= 0 {
+		return SingleSocket{Socket: socket}, nil
+	}
+	return nil, fmt.Errorf("machine: unknown placement %q (want one of %v)", name, PlacementNames())
+}
+
+// PlacementNames lists the placement names PlacementByName accepts;
+// "socket-N" stands for any non-negative socket index.
+func PlacementNames() []string {
+	return []string{"compact", "scatter", "smt-first", "socket-N"}
 }

@@ -54,9 +54,11 @@ type CellRecord struct {
 	// Key is the cell's full config key — experiment ID, base options,
 	// and the per-cell configuration. Cells with equal keys compute the
 	// same result; the key is what the resume cache is addressed by.
-	// The per-cell part identifies machines by content ("Name@digest"
-	// for spec-built machines, see machine.Key), so two differently
-	// parameterized machines sharing a name never share cache entries.
+	// The per-cell part identifies both halves of a cell by content:
+	// machines as "Name@digest" (machine.Key) and workloads as a
+	// "/wl@digest" suffix (workload.Spec.Digest), so two differently
+	// parameterized machines or workload specs sharing a name never
+	// share cache entries.
 	Key string `json:"key,omitempty"`
 	// Digest is a short content hash of the JSON-encoded result.
 	Digest string `json:"digest,omitempty"`

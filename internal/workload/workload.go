@@ -55,6 +55,20 @@ func (m Mode) String() string {
 	return "unknown"
 }
 
+// ParseMode resolves a mode display name (the String form) — the
+// inverse modes round-trip through JSON workload specs by. The
+// out-of-range placeholder "unknown" is not a mode and is rejected
+// like any other misspelling.
+func ParseMode(name string) (Mode, error) {
+	for m := HighContention; m <= ReadWriteMix; m++ {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown mode %q (want %q, %q or %q)",
+		name, HighContention, LowContention, ReadWriteMix)
+}
+
 // Config parameterizes one run.
 type Config struct {
 	Machine   *machine.Machine
@@ -140,6 +154,9 @@ func (c *Config) fillDefaults() error {
 	if c.Mode == ReadWriteMix && (c.ReadFraction < 0 || c.ReadFraction > 1) {
 		return fmt.Errorf("workload: ReadFraction %v out of [0,1]", c.ReadFraction)
 	}
+	if c.Mode != ReadWriteMix && c.ReadFraction != 0 {
+		return fmt.Errorf("workload: ReadFraction %v has no effect in %s mode", c.ReadFraction, c.Mode)
+	}
 	if c.OpenLoop {
 		if c.OpenLoopInterarrival <= 0 {
 			return fmt.Errorf("workload: OpenLoop requires a positive OpenLoopInterarrival")
@@ -147,6 +164,8 @@ func (c *Config) fillDefaults() error {
 		if c.CASRetryLoop {
 			return fmt.Errorf("workload: OpenLoop and CASRetryLoop are mutually exclusive")
 		}
+	} else if c.OpenLoopInterarrival != 0 {
+		return fmt.Errorf("workload: OpenLoopInterarrival %v has no effect without OpenLoop", c.OpenLoopInterarrival)
 	}
 	return nil
 }

@@ -8,10 +8,12 @@
 # observability layer (-metrics tables, -chrome traces) end to end,
 # a full invariant-checked sweep, a cache-corruption/quarantine smoke,
 # a custom-machine-spec smoke (-machinefile load, digest-keyed resume,
-# spec round trip), a bench smoke enforcing the simulation path's
-# allocation budget, and short native-fuzz passes over the run-log
-# parsers, topology hop computation, the machine spec loader, and the
-# sharded event-queue merge. Run from the repo root.
+# spec round trip), a workload-spec smoke (-workloadfile load,
+# digest-keyed resume, -workloads name resolution), a bench smoke
+# enforcing the simulation path's allocation budget, and short
+# native-fuzz passes over the run-log parsers, topology hop
+# computation, the machine and workload spec loaders, and the sharded
+# event-queue merge. Run from the repo root.
 set -eu
 
 echo "== go build ./..."
@@ -138,6 +140,36 @@ if go run ./cmd/atomicsim -quick -quiet -exp F1 -machines bogus \
 fi
 grep -q 'registered:' "$dir/bogus.log"
 
+echo "== workload spec smoke (-workloadfile, digest-keyed resume)"
+# A workload loaded from a JSON spec file must run end to end as the W
+# suite, resume byte-identically from its own digest-keyed cache
+# namespace, and its cell keys must carry the "/wl@digest" form.
+go run ./cmd/atomicsim -quick -quiet \
+    -workloadfile examples/workloads/swap-ladder.json \
+    -manifest "$dir/wlrun" > "$dir/wl_fresh.txt"
+go run ./cmd/atomicsim -quick -quiet \
+    -workloadfile examples/workloads/swap-ladder.json \
+    -resume "$dir/wlrun" > "$dir/wl_resumed.txt"
+cmp "$dir/wl_fresh.txt" "$dir/wl_resumed.txt" || {
+    echo "-workloadfile resume differs from fresh run" >&2
+    exit 1
+}
+grep -q '"cached":true' "$dir/wlrun/manifest.jsonl"
+grep -q '/wl@' "$dir/wlrun/manifest.jsonl" || {
+    echo "workload spec cells are not digest-keyed" >&2
+    exit 1
+}
+# Registered presets resolve by name; an unknown one fails and lists
+# what is registered.
+go run ./cmd/atomicsim -quick -quiet -workloads open-loop-faa \
+    -machines Ideal8 > /dev/null
+if go run ./cmd/atomicsim -quick -quiet -workloads bogus \
+    > /dev/null 2> "$dir/wlbogus.log"; then
+    echo "unknown -workloads name did not fail" >&2
+    exit 1
+fi
+grep -q 'registered:' "$dir/wlbogus.log"
+
 echo "== bench smoke (allocation budget on the simulation path)"
 # The coherence access path must stay allocation-free, and a full cell
 # must stay within a one-time pool-build budget (the steady state is
@@ -157,11 +189,12 @@ awk '/BenchmarkFullCell/ { if ($(NF-1) + 0 > 20) exit 1 }' "$dir/bench_cell.txt"
     exit 1
 }
 
-echo "== fuzz smoke (runlog parsers, topology hops, machine specs, shard merge)"
+echo "== fuzz smoke (runlog parsers, topology hops, machine/workload specs, shard merge)"
 go test -run FuzzNothing -fuzz FuzzCacheLoad -fuzztime 5s ./internal/runlog > /dev/null
 go test -run FuzzNothing -fuzz FuzzManifestValidate -fuzztime 5s ./internal/runlog > /dev/null
 go test -run FuzzNothing -fuzz FuzzHops -fuzztime 5s ./internal/topology > /dev/null
 go test -run FuzzNothing -fuzz FuzzSpecLoad -fuzztime 5s ./internal/machine > /dev/null
+go test -run FuzzNothing -fuzz FuzzWorkloadSpecLoad -fuzztime 5s ./internal/workload > /dev/null
 go test -run FuzzNothing -fuzz FuzzShardMerge -fuzztime 5s ./internal/sim > /dev/null
 
 echo "ok"
