@@ -34,10 +34,12 @@ package atomicsmodel
 import (
 	"atomicsmodel/internal/apps"
 	"atomicsmodel/internal/atomics"
+	"atomicsmodel/internal/bottleneck"
 	"atomicsmodel/internal/coherence"
 	"atomicsmodel/internal/core"
 	"atomicsmodel/internal/harness"
 	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/metrics"
 	"atomicsmodel/internal/native"
 	"atomicsmodel/internal/sim"
 	"atomicsmodel/internal/trace"
@@ -183,6 +185,31 @@ func RunWorkloadSpec(s *WorkloadSpec, m *Machine) (*WorkloadResult, error) {
 // the paper's own experiments.
 func WorkloadExperiment(specs []*WorkloadSpec) *Experiment {
 	return harness.WorkloadExperiment(specs)
+}
+
+// Bottleneck analysis (utilization rollups over metrics snapshots).
+type (
+	// MetricsSnapshot is a cell's instrument readings over its measured
+	// window (WorkloadResult.Metrics when the run had Metrics enabled).
+	MetricsSnapshot = metrics.Snapshot
+	// BottleneckReport is the per-cell utilization rollup: busiest
+	// directory, line, and link with their busy-fractions of the window.
+	BottleneckReport = bottleneck.Report
+	// BottleneckVerdict names the resource closest to saturation.
+	BottleneckVerdict = bottleneck.Verdict
+)
+
+// AnalyzeBottlenecks rolls a metrics snapshot into per-resource
+// utilization and a saturation verdict; see BOTTLENECKS.md.
+func AnalyzeBottlenecks(s *MetricsSnapshot) (*BottleneckReport, error) {
+	return bottleneck.Analyze(s)
+}
+
+// FleetExperiment wraps workload specs as a fleet sweep across every
+// registered machine with per-cell bottleneck verdicts (the CLIs'
+// -fleet mode); threshold <= 0 uses the default knee threshold.
+func FleetExperiment(specs []*WorkloadSpec, threshold float64) *Experiment {
+	return harness.FleetExperiment(specs, threshold)
 }
 
 // MeasureStateLatency measures one primitive on a line staged in the

@@ -12,6 +12,7 @@
 //	atomicreport -machinefile spec.json  # add machines from spec files
 //	atomicreport -workloads high-faa     # report on registered workload specs
 //	atomicreport -workloadfile w.json    # report on a workload spec file
+//	atomicreport -fleet -quick -o f.md   # cross-architecture bottleneck report
 package main
 
 import (
@@ -43,6 +44,8 @@ func main() {
 		machFil = flag.String("machinefile", "", "comma-separated JSON machine spec files to run alongside -machines")
 		wlNames = flag.String("workloads", "", "comma-separated registered workload spec names to run as the W suite (replaces the default experiment list unless -exp is given)")
 		wlFiles = flag.String("workloadfile", "", "comma-separated JSON workload spec files to run alongside -workloads")
+		fleet   = flag.Bool("fleet", false, "fleet sweep: run the selected workloads across every registered machine with per-cell bottleneck verdicts (see BOTTLENECKS.md)")
+		knee    = flag.Float64("knee", 0.9, "utilization threshold for fleet knee detection")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 
@@ -120,10 +123,22 @@ func main() {
 			}
 			exps = append(exps, e)
 		}
-	} else if wlSpecs == nil {
+	} else if wlSpecs == nil && !*fleet {
 		exps = harness.All()
 	}
-	if wlSpecs != nil {
+	if *fleet {
+		// A fleet sweep takes the selected workloads, defaulting to the
+		// high-faa preset when none are named.
+		specs := wlSpecs
+		if specs == nil {
+			s, err := workload.SpecByName("high-faa")
+			if err != nil {
+				fatal(err)
+			}
+			specs = []*workload.Spec{s}
+		}
+		exps = append(exps, harness.FleetExperiment(specs, *knee))
+	} else if wlSpecs != nil {
 		exps = append(exps, harness.WorkloadExperiment(wlSpecs))
 	}
 

@@ -9,6 +9,8 @@
 //	atomicsim -machinefile m.json # add a machine from a JSON spec file
 //	atomicsim -workloads high-faa # run registered workload specs (the W suite)
 //	atomicsim -workloadfile w.json# run a workload from a JSON spec file
+//	atomicsim -fleet              # fleet sweep: bottleneck verdicts across all machines
+//	atomicsim -fleet -knee 0.8    # lower the knee-detection utilization threshold
 //	atomicsim -quick              # trimmed sweeps for a fast look
 //	atomicsim -par 4              # cap concurrent simulation cells
 //	atomicsim -csv results/       # additionally write one CSV per table
@@ -48,6 +50,8 @@ func main() {
 		machFil = flag.String("machinefile", "", "comma-separated JSON machine spec files to run alongside -machines")
 		wlNames = flag.String("workloads", "", "comma-separated registered workload spec names to run as the W suite (replaces the default experiment list unless -exp is given)")
 		wlFiles = flag.String("workloadfile", "", "comma-separated JSON workload spec files to run alongside -workloads")
+		fleet   = flag.Bool("fleet", false, "fleet sweep: run the selected workloads across every registered machine with per-cell bottleneck verdicts (see BOTTLENECKS.md)")
+		knee    = flag.Float64("knee", 0.9, "utilization threshold for fleet knee detection")
 		quick   = flag.Bool("quick", false, "trimmed sweeps and shorter simulated durations")
 		seed    = flag.Uint64("seed", 42, "base random seed")
 		par     = flag.Int("par", runtime.NumCPU(), "max concurrent simulation cells (results are identical for any value)")
@@ -160,10 +164,22 @@ func main() {
 			}
 			exps = append(exps, e)
 		}
-	} else if wlSpecs == nil {
+	} else if wlSpecs == nil && !*fleet {
 		exps = harness.All()
 	}
-	if wlSpecs != nil {
+	if *fleet {
+		// A fleet sweep takes the selected workloads, defaulting to the
+		// high-faa preset when none are named.
+		specs := wlSpecs
+		if specs == nil {
+			s, err := workload.SpecByName("high-faa")
+			if err != nil {
+				fatal(err)
+			}
+			specs = []*workload.Spec{s}
+		}
+		exps = append(exps, harness.FleetExperiment(specs, *knee))
+	} else if wlSpecs != nil {
 		exps = append(exps, harness.WorkloadExperiment(wlSpecs))
 	}
 

@@ -1,0 +1,177 @@
+package bottleneck_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"atomicsmodel/internal/bottleneck"
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/metrics"
+	"atomicsmodel/internal/sim"
+	"atomicsmodel/internal/workload"
+)
+
+// snap builds a snapshot with a window and the given occupancy vectors
+// (nil skips a vector, modeling a cell that never recorded it).
+func snap(t *testing.T, window uint64, dir, line, link []uint64, queueTime uint64) *metrics.Snapshot {
+	t.Helper()
+	r := metrics.New()
+	r.Counter(metrics.WorkWindow).Add(window)
+	r.Counter(metrics.SimQueueTime).Add(queueTime)
+	for _, v := range []struct {
+		name string
+		vals []uint64
+	}{
+		{metrics.CohDirBusy, dir},
+		{metrics.CohLineBusy, line},
+		{metrics.CohLinkBusy, link},
+	} {
+		if v.vals == nil {
+			continue
+		}
+		vec := r.Vector(v.name, len(v.vals))
+		for i, n := range v.vals {
+			vec.Add(i, n)
+		}
+	}
+	return r.Snapshot()
+}
+
+func TestAnalyzeBusiestAndClamp(t *testing.T) {
+	s := snap(t, 1000,
+		[]uint64{100, 900, 50}, // dir 1 busiest at 0.9
+		[]uint64{1500, 200},    // line 0 over the window: clamps to 1
+		[]uint64{0, 0, 250},    // link 2 busiest at 0.25
+		2000)                   // queue avg 2.0
+	rep, err := bottleneck.Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WindowPS != 1000 {
+		t.Fatalf("window = %d", rep.WindowPS)
+	}
+	if !rep.Dir.OK || rep.Dir.Busiest != 1 || rep.Dir.Util != 0.9 {
+		t.Fatalf("dir = %+v", rep.Dir)
+	}
+	if !rep.Line.OK || rep.Line.Busiest != 0 || rep.Line.Util != 1 {
+		t.Fatalf("line not clamped to 1: %+v", rep.Line)
+	}
+	if !rep.Link.OK || rep.Link.Busiest != 2 || rep.Link.Util != 0.25 {
+		t.Fatalf("link = %+v", rep.Link)
+	}
+	if rep.QueueAvg != 2.0 {
+		t.Fatalf("queue avg = %v", rep.QueueAvg)
+	}
+
+	v := rep.Verdict(0.9)
+	if v.Resource != "line" || !v.Saturated || v.Util != 1 {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if v := rep.Verdict(0); v.Resource != "line" {
+		t.Fatalf("default-threshold verdict = %+v", v)
+	}
+}
+
+func TestAnalyzeMissingVectorsAndWindow(t *testing.T) {
+	if _, err := bottleneck.Analyze(nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	if _, err := bottleneck.Analyze(metrics.New().Snapshot()); err == nil {
+		t.Fatal("snapshot without work.window_ps accepted")
+	}
+	rep, err := bottleneck.Analyze(snap(t, 1000, []uint64{10}, nil, nil, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Line.OK || rep.Link.OK {
+		t.Fatalf("absent vectors reported OK: %+v", rep)
+	}
+	if v := rep.Verdict(0.9); v.Resource != "dir" {
+		t.Fatalf("verdict should skip absent resources: %+v", v)
+	}
+	none, err := bottleneck.Analyze(snap(t, 1000, nil, nil, nil, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := none.Verdict(0.9); v.Resource != "none" || v.Saturated {
+		t.Fatalf("all-absent verdict = %+v", v)
+	}
+}
+
+func TestKnee(t *testing.T) {
+	mk := func(util float64) *bottleneck.Report {
+		return &bottleneck.Report{
+			Dir: bottleneck.Utilization{Resource: "dir", Util: util, OK: true},
+		}
+	}
+	points := []bottleneck.Point{
+		{Threads: 1, Report: mk(0.3)},
+		{Threads: 2, Report: nil}, // failed cell: skipped
+		{Threads: 4, Report: mk(0.95)},
+		{Threads: 8, Report: mk(0.99)},
+	}
+	n, res, util := bottleneck.Knee(points, 0.9)
+	if n != 4 || res != "dir" || util != 0.95 {
+		t.Fatalf("knee = %d %s %v", n, res, util)
+	}
+	if n, _, _ := bottleneck.Knee(points, 1.1); n != 0 {
+		t.Fatalf("impossible threshold found a knee at %d", n)
+	}
+}
+
+// TestOccupancyBoundsFuzzedSpecs is the property test: whatever the
+// workload shape — primitive, mode, think time, arrival process, line
+// striping — every rolled-up utilization is a fraction in [0, 1].
+func TestOccupancyBoundsFuzzedSpecs(t *testing.T) {
+	m := machine.XeonE5()
+	rng := rand.New(rand.NewSource(7))
+	prims := []string{"CAS", "FAA", "SWAP", "TAS", "Load", "Store"}
+	modes := []string{"high-contention", "low-contention", "read-write-mix"}
+	for i := 0; i < 25; i++ {
+		sp := &workload.Spec{
+			Primitive:  prims[rng.Intn(len(prims))],
+			Mode:       modes[rng.Intn(len(modes))],
+			Threads:    1 + rng.Intn(16),
+			Lines:      1 + rng.Intn(4),
+			WarmupPS:   2 * sim.Microsecond,
+			DurationPS: 20 * sim.Microsecond,
+			Seed:       uint64(i + 1),
+		}
+		if sp.Mode == "read-write-mix" {
+			sp.ReadFraction = rng.Float64()
+		}
+		if rng.Intn(2) == 0 {
+			sp.LocalWorkPS = sim.Time(rng.Intn(5000))
+			sp.WorkJitter = sp.LocalWorkPS > 0 && rng.Intn(2) == 0
+		}
+		if rng.Intn(4) == 0 {
+			sp.OpenLoop = true
+			sp.OpenLoopInterarrivalPS = sim.Time(1 + rng.Intn(100000))
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("spec %d invalid: %v", i, err)
+		}
+		cfg, err := sp.Config(m)
+		if err != nil {
+			t.Fatalf("spec %d config: %v", i, err)
+		}
+		cfg.Metrics = true
+		res, err := workload.Run(cfg)
+		if err != nil {
+			t.Fatalf("spec %d run: %v", i, err)
+		}
+		rep, err := bottleneck.Analyze(res.Metrics)
+		if err != nil {
+			t.Fatalf("spec %d analyze: %v", i, err)
+		}
+		for _, u := range []bottleneck.Utilization{rep.Dir, rep.Line, rep.Link} {
+			if u.Util < 0 || u.Util > 1 {
+				t.Fatalf("spec %d (%s/%s t=%d): %s utilization %v outside [0,1]",
+					i, sp.Primitive, sp.Mode, sp.Threads, u.Resource, u.Util)
+			}
+		}
+		if rep.QueueAvg < 0 {
+			t.Fatalf("spec %d: negative queue avg %v", i, rep.QueueAvg)
+		}
+	}
+}

@@ -393,7 +393,25 @@ type System struct {
 	mCross        *metrics.Counter
 	mQueueDepth   *metrics.Histogram
 	mQueuedBehind *metrics.Histogram
+	// Duration-weighted occupancy vectors (see internal/metrics names
+	// and internal/bottleneck): busy picoseconds per directory home
+	// node, per tracked line, and per interconnect link.
+	mOccDir  *metrics.Vector
+	mOccLine *metrics.Vector
+	mOccLink *metrics.Vector
+	// occRouter attributes per-link busy time when the bandwidth network
+	// is off: a dense routing view of the topology, built lazily the
+	// first time a registry is installed and kept across Reset (it is
+	// immutable precomputed state, like the dense hop tables).
+	occRouter *topology.DenseRouter
 }
+
+// maxTrackedLines bounds the per-line occupancy vector. Shared
+// serialization points occupy the first few line IDs (workloads stripe
+// them from ID 1); private low-contention lines live at IDs >= 1e6 and
+// fall outside the vector on purpose — a private line is never a
+// bottleneck, and the vector's bounds check drops them for free.
+const maxTrackedLines = 64
 
 // NewSystem builds a memory system. arb may be nil, which means FIFO.
 func NewSystem(eng *sim.Engine, p Params, arb Arbiter) (*System, error) {
@@ -475,6 +493,15 @@ func (s *System) pathCost(proc sim.Time, nodes [4]int, n int) (total sim.Time, h
 		hops += int(s.thops[nodes[i-1]*s.tn+nodes[i]])
 	}
 	if s.net == nil {
+		if s.mOccLink != nil {
+			// No bandwidth model: charge each traversed link its transit
+			// time so utilization still names the hottest wire.
+			for i := 1; i < n; i++ {
+				for _, l := range s.occRouter.Path(nodes[i-1], nodes[i]) {
+					s.mOccLink.Add(l, uint64(s.p.HopLatency)*uint64(s.occRouter.LinkTransit(l)))
+				}
+			}
+		}
 		return proc + sim.Time(hops)*s.p.HopLatency, hops
 	}
 	now := s.eng.Now()
@@ -534,6 +561,30 @@ func (s *System) InstallMetrics(r *metrics.Registry) {
 	s.mCross = r.Counter(metrics.CohCrossSocket)
 	s.mQueueDepth = r.Histogram(metrics.CohQueueDepth)
 	s.mQueuedBehind = r.Histogram(metrics.CohQueuedBehind)
+	// Occupancy vectors: directory busy time per home node, line busy
+	// time per tracked line, link busy time per interconnect link. Link
+	// attribution needs routing paths: the bandwidth network carries
+	// them when it is on; otherwise a dense routing view is built once
+	// here (registry installation is setup time, not the hot path) for
+	// topologies that can enumerate links. Non-routable topologies get
+	// no link vector and the rollup reports the link axis as untracked.
+	s.mOccDir = r.Vector(metrics.CohDirBusy, s.tn)
+	s.mOccLine = r.Vector(metrics.CohLineBusy, maxTrackedLines)
+	if s.net != nil {
+		s.mOccLink = r.Vector(metrics.CohLinkBusy, s.net.router.Links())
+		s.net.mOccLink = s.mOccLink
+	} else {
+		if r != nil && s.occRouter == nil {
+			if rt, ok := s.p.Topo.(topology.Router); ok {
+				s.occRouter = topology.NewDenseRouter(rt)
+			}
+		}
+		if s.occRouter != nil {
+			s.mOccLink = r.Vector(metrics.CohLinkBusy, s.occRouter.Links())
+		} else {
+			s.mOccLink = nil
+		}
+	}
 	// Metrics consumers want one observation per queue/grant event, so
 	// the uncontended-owner fast path turns itself off while a registry
 	// is installed (a nil registry keeps every handle nil and the layer
@@ -716,6 +767,8 @@ func (s *System) Access(core int, id LineID, kind Kind, hold sim.Time, apply App
 			cost = c
 			res = AccessResult{Source: SrcLLC, Hops: hops}
 		}
+		// Even a pipelined read occupies the home agent for its lookup.
+		s.mOccDir.Add(l.home, uint64(s.p.DirLookup))
 		l.sharers.add(core)
 		s.nAccesses++
 		s.mTransfer[res.Source].Inc()
@@ -827,8 +880,11 @@ func (s *System) serveNext(l *lineState) {
 
 	// The line is busy for the transfer plus the execution occupancy;
 	// the requester's completion callback fires at the same instant the
-	// next request can be granted.
+	// next request can be granted. That whole span is serialization-
+	// point occupancy for the line (IDs past maxTrackedLines are
+	// dropped by the vector's bounds check).
 	total := cost + req.hold
+	s.mOccLine.Add(int(l.id), uint64(total))
 	if !s.eng.TryExpress(total, req.completeFn) {
 		s.eng.ScheduleShard(l.home, total, req.completeFn)
 	}
@@ -930,6 +986,7 @@ func (s *System) serviceCost(l *lineState, req *request) (sim.Time, AccessResult
 		// Dirty/exclusive in another core's cache: home forwards the
 		// request to the owner, owner sends data to the requester.
 		oNode := s.nodeOf[l.owner]
+		s.mOccDir.Add(l.home, uint64(s.p.DirLookup))
 		cost, hops := s.pathCost(s.p.DirLookup, [4]int{cNode, l.home, oNode, cNode}, 4)
 		cross := s.tcross[cNode*s.tn+oNode]
 		if cross {
@@ -948,7 +1005,9 @@ func (s *System) serviceCost(l *lineState, req *request) (sim.Time, AccessResult
 
 	case l.valid:
 		// Clean at home LLC; request + data each travel the home
-		// distance. RFOs additionally invalidate any sharers.
+		// distance. RFOs additionally invalidate any sharers. The home
+		// agent is occupied for the directory lookup plus the LLC read.
+		s.mOccDir.Add(l.home, uint64(s.p.DirLookup+s.p.LLCHit))
 		cost, hops := s.pathCost(s.p.DirLookup+s.p.LLCHit, [4]int{cNode, l.home, cNode}, 3)
 		if req.kind == RFO && !l.sharers.empty() {
 			// Do not count the requester itself as a third-party sharer.
@@ -971,7 +1030,9 @@ func (s *System) serviceCost(l *lineState, req *request) (sim.Time, AccessResult
 		return cost, res
 
 	default:
-		// Cold: fetch from DRAM through the home memory controller.
+		// Cold: fetch from DRAM through the home memory controller,
+		// which is occupied for the lookup plus the memory access.
+		s.mOccDir.Add(l.home, uint64(s.p.DirLookup+s.p.DRAM))
 		cost, hops := s.pathCost(s.p.DirLookup+s.p.DRAM, [4]int{cNode, l.home, cNode}, 3)
 		res.Source = SrcDRAM
 		res.Hops = hops
@@ -1226,6 +1287,8 @@ func (s *System) Reset() {
 	s.mTransfer = [4]*metrics.Counter{}
 	s.mInval, s.mCross = nil, nil
 	s.mQueueDepth, s.mQueuedBehind = nil, nil
+	// occRouter survives: it is immutable precomputed topology state.
+	s.mOccDir, s.mOccLine, s.mOccLink = nil, nil, nil
 	s.metricsOn = false
 	s.recomputeFastOwn()
 	if s.net != nil {

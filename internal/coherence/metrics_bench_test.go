@@ -72,6 +72,22 @@ func TestAccessDoesNotAllocate(t *testing.T) {
 			if avg != 0 {
 				t.Fatalf("contended access allocates %.1f allocs/op, want 0", avg)
 			}
+			if tc.reg != nil {
+				// The occupancy accumulators must have been recording
+				// while staying inside the zero-alloc budget above.
+				snap := tc.reg.Snapshot()
+				line := snap.Vector(metrics.CohLineBusy)
+				if line == nil || line[1] == 0 {
+					t.Fatalf("line 1 accumulated no busy time: %v", line)
+				}
+				var dirBusy uint64
+				for _, v := range snap.Vector(metrics.CohDirBusy) {
+					dirBusy += v
+				}
+				if dirBusy == 0 {
+					t.Fatal("directories accumulated no busy time")
+				}
+			}
 		})
 	}
 }

@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"atomicsmodel/internal/metrics"
 	"atomicsmodel/internal/sim"
 	"atomicsmodel/internal/topology"
 )
@@ -22,6 +23,10 @@ type network struct {
 	free []sim.Time
 	// stalled accumulates total time messages waited for busy links.
 	stalled sim.Time
+	// mOccLink, when metrics are installed, accumulates per-link busy
+	// time: each message's reservation adds occupancy to every link it
+	// crosses. Nil-safe, so the hot loop needs no metrics branch.
+	mOccLink *metrics.Vector
 }
 
 // newNetwork returns nil when bandwidth modeling is off (zero occupancy
@@ -61,6 +66,7 @@ func (nw *network) transit(at sim.Time, a, b int) sim.Time {
 			start = nw.free[l]
 		}
 		nw.free[l] = start + nw.occupancy
+		nw.mOccLink.Add(l, uint64(nw.occupancy))
 		t = start + nw.linkTime[l]
 	}
 	return t - at
@@ -86,4 +92,5 @@ func (nw *network) Reset() {
 		nw.free[l] = 0
 	}
 	nw.stalled = 0
+	nw.mOccLink = nil
 }

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/runlog"
+	"atomicsmodel/internal/workload"
+)
+
+// fleetGoldenMachines is the full registry, spelled out so a test that
+// registers an extra machine elsewhere cannot perturb the golden.
+var fleetGoldenMachines = []string{"EPYC", "Grace", "KNL", "XeonE5", "XeonSP"}
+
+// renderFleet runs the fleet sweep over the pinned single-cell spec in
+// testdata/fleet_cell.json and renders it exactly the way atomicsim
+// prints an experiment (header, then each table followed by a blank
+// line) so the golden can be regenerated with the CLI.
+func renderFleet(t *testing.T, o Options) string {
+	t.Helper()
+	sp, err := workload.LoadSpecFile(filepath.Join("testdata", "fleet_cell.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range fleetGoldenMachines {
+		m, err := machine.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Machines = append(o.Machines, m)
+	}
+	e := FleetExperiment([]*workload.Spec{sp}, 0.9)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s\n   claim: %s\n\n", e.ID, e.Title, e.Claim)
+	tables, err := RunExperiment(e, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		if err := tb.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// TestFleetQuickGolden pins the bottleneck report for one quick cell
+// per registered machine byte-for-byte. To regenerate after an
+// intentional change:
+//
+//	go run ./cmd/atomicsim -quick -quiet -fleet \
+//	    -machines EPYC,Grace,KNL,XeonE5,XeonSP \
+//	    -workloadfile internal/harness/testdata/fleet_cell.json \
+//	    > internal/harness/testdata/fleet_quick.golden
+func TestFleetQuickGolden(t *testing.T) {
+	got := renderFleet(t, Options{Quick: true, Seed: 42, Par: 8})
+	want, err := os.ReadFile(filepath.Join("testdata", "fleet_quick.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("fleet quick report differs from golden (len %d vs %d); "+
+			"first divergence at byte %d:\n...%s...",
+			len(got), len(want), diverge(got, string(want)),
+			context(got, diverge(got, string(want))))
+	}
+}
+
+// TestFleetParInvariance: the rollup (like every harness table) must
+// not depend on cell scheduling.
+func TestFleetParInvariance(t *testing.T) {
+	seq := renderFleet(t, Options{Quick: true, Seed: 42, Par: 1})
+	par := renderFleet(t, Options{Quick: true, Seed: 42, Par: 8})
+	if seq != par {
+		t.Fatalf("fleet report differs between -par 1 and -par 8; "+
+			"first divergence at byte %d:\n...%s...",
+			diverge(seq, par), context(seq, diverge(seq, par)))
+	}
+}
+
+// TestFleetResumeInvariance: a resumed fleet sweep replays every cell
+// from the digest-keyed cache — metrics snapshots included, since the
+// bottleneck rollup is recomputed from them — and renders the same
+// bytes as the fresh run.
+func TestFleetResumeInvariance(t *testing.T) {
+	dir := t.TempDir()
+	run := func(resume bool) (out string, cells, cached int) {
+		open := runlog.Create
+		if resume {
+			open = runlog.Append
+		}
+		w, err := open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := runlog.OpenCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := Options{Quick: true, Seed: 42, Par: 4, Manifest: w, Cache: c}
+		out = renderFleet(t, o)
+		cells, cached, failed := w.Totals()
+		if failed != 0 {
+			t.Fatalf("%d failed cells", failed)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return out, cells, cached
+	}
+	fresh, cells, cached := run(false)
+	if cells != len(fleetGoldenMachines) || cached != 0 {
+		t.Fatalf("fresh run: cells=%d cached=%d, want %d fresh cells",
+			cells, cached, len(fleetGoldenMachines))
+	}
+	resumed, cells2, cached2 := run(true)
+	if cells2 != cells || cached2 != cells {
+		t.Fatalf("resume: cells=%d cached=%d, want all %d cached", cells2, cached2, cells)
+	}
+	if fresh != resumed {
+		t.Fatalf("resumed fleet report differs from fresh run; "+
+			"first divergence at byte %d:\n...%s...",
+			diverge(fresh, resumed), context(fresh, diverge(fresh, resumed)))
+	}
+}

@@ -21,16 +21,40 @@ const (
 	// requests were granted while it waited (arbitration bypasses).
 	CohQueuedBehind = "coh.queued_behind"
 
+	// Duration-weighted occupancy accumulators (picoseconds of busy
+	// time), the inputs of the internal/bottleneck utilization rollup.
+	// Each is a vector indexed by resource instance: CohDirBusy by home
+	// node (directory/LLC-slice processing time), CohLineBusy by line ID
+	// (time the line's serialization point was held: transfer plus
+	// execution occupancy; only the first 64 line IDs are tracked, which
+	// covers every shared serialization point — private low-contention
+	// lines live at IDs >= 1e6 and are deliberately dropped by the
+	// vector's bounds check), CohLinkBusy by interconnect link (with
+	// finite bandwidth on, the reservation time per message; otherwise
+	// the transit time, HopLatency times the link's hop weight).
+	CohDirBusy  = "coh.occ.dir_busy_ps"
+	CohLineBusy = "coh.occ.line_busy_ps"
+	CohLinkBusy = "coh.occ.link_busy_ps"
+
 	// Event engine (internal/sim): events executed in the measured
 	// window and the event queue's high-water mark over the whole run.
+	// SimQueueTime is the time integral of the pending-event count over
+	// the measured window (picosecond-events); divided by the window it
+	// is the mean number of outstanding events, the engine-pressure
+	// figure that corroborates a saturating coherence resource.
 	SimEvents    = "sim.events"
 	SimQueuePeak = "sim.queue_peak"
+	SimQueueTime = "sim.queue_time_ps"
 
 	// Benchmark drivers (internal/workload, internal/apps): successful
 	// operations per thread (the fairness evidence), CAS retry events,
-	// and the issue mix of read-write workloads.
+	// and the issue mix of read-write workloads. WorkWindow records the
+	// measured window's length in picoseconds — the denominator of every
+	// busy-fraction in the bottleneck rollup — so a snapshot is
+	// self-contained: utilization is computable from the snapshot alone.
 	WorkThreadOps   = "work.thread_ops"
 	WorkCASFailures = "work.cas_failures"
 	WorkReads       = "work.reads"
 	WorkRMWs        = "work.rmws"
+	WorkWindow      = "work.window_ps"
 )

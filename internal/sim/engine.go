@@ -200,6 +200,10 @@ type Engine struct {
 	// maxPending is its high-water mark (see MaxPending).
 	pending    int
 	maxPending int
+	// pendIntegral is the time integral of the pending-event count:
+	// ∫ pending(t) dt in picosecond-events, accumulated by the
+	// dispatcher as the clock advances (see QueueTimeIntegral).
+	pendIntegral Time
 	// processed counts events executed, for reporting and loop guards;
 	// fast-forwarded (analytically elided) events are added by JumpClock
 	// so the count is identical with and without fast-forward.
@@ -375,6 +379,15 @@ func (e *Engine) MaxPending() int { return e.maxPending }
 // shards and the express lane.
 func (e *Engine) Pending() int { return e.pending }
 
+// QueueTimeIntegral reports ∫ pending(t) dt over dispatched time: the
+// cumulative picosecond-events of queued work. Divided by a window it
+// is the mean number of outstanding events — the engine-pressure signal
+// internal/metrics exports as "sim.queue_time_ps". Time elided by
+// JumpClock contributes nothing (the fast-forward layer only engages
+// when no metrics consumer reads this), and neither does the idle
+// advance to the horizon at the end of Run (the queue is empty there).
+func (e *Engine) QueueTimeIntegral() Time { return e.pendIntegral }
+
 // PeekTime returns the timestamp of the next event to run, if any.
 func (e *Engine) PeekTime() (Time, bool) {
 	at, _, src := e.peekMin()
@@ -527,6 +540,9 @@ func (e *Engine) dispatch(limit Time) {
 		if e.monotone != nil && ev.at < e.now {
 			e.monotone(fmt.Errorf("sim: event time moved backwards: dequeued t=%v seq=%d with clock at %v", ev.at, ev.seq, e.now))
 		}
+		// popNext already took the dequeued event out of pending, so the
+		// count outstanding across [now, ev.at] is pending+1.
+		e.pendIntegral += Time(e.pending+1) * (ev.at - e.now)
 		e.now = ev.at
 		e.processed++
 		if e.eventHook != nil {
@@ -581,6 +597,7 @@ func (e *Engine) Reset() {
 	e.occupied = 0
 	e.now, e.seq, e.processed = 0, 0, 0
 	e.pending, e.maxPending = 0, 0
+	e.pendIntegral = 0
 	e.stopped, e.running = false, false
 	e.horizon = 0
 	e.perturb, e.eventHook, e.monotone, e.idleHook = nil, nil, nil, nil

@@ -53,6 +53,23 @@ func TestEngineOrdering(t *testing.T) {
 	}
 }
 
+func TestEngineQueueTimeIntegral(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10*Nanosecond, func() {})
+	e.Schedule(30*Nanosecond, func() {})
+	e.Run(Second)
+	// Two events outstanding over [0,10ns), one over [10ns,30ns), none
+	// afterwards — the idle advance to the horizon contributes nothing.
+	want := 2*10*Nanosecond + 1*20*Nanosecond
+	if got := e.QueueTimeIntegral(); got != want {
+		t.Fatalf("QueueTimeIntegral = %v, want %v", got, want)
+	}
+	e.Reset()
+	if got := e.QueueTimeIntegral(); got != 0 {
+		t.Fatalf("QueueTimeIntegral after Reset = %v, want 0", got)
+	}
+}
+
 func TestEngineSameInstantFIFO(t *testing.T) {
 	e := NewEngine()
 	var order []int

@@ -275,6 +275,7 @@ type runner struct {
 	// Measurement-window baselines captured by warmupFn.
 	cohAtMeasure  coherence.Stats
 	procAtMeasure uint64
+	qtAtMeasure   sim.Time
 	warmupFn      func()
 	// root seeds the per-thread RNG streams; coreSeen is scratch for
 	// counting distinct cores. Both are reused across runs.
@@ -399,6 +400,7 @@ func newRunner(m *machine.Machine) (*runner, error) {
 		r.meter.Reset()
 		r.cohAtMeasure = r.mem.System().Stats()
 		r.procAtMeasure = r.eng.Processed()
+		r.qtAtMeasure = r.eng.QueueTimeIntegral()
 		// Zero the instruments so the snapshot, like every other
 		// reported number, covers exactly the measured window.
 		r.reg.Reset()
@@ -523,6 +525,7 @@ func RunReusing(cfg Config, recycle *Result) (*Result, error) {
 	r.ops, r.attempts, r.failures = 0, 0, 0
 	r.cohAtMeasure = coherence.Stats{}
 	r.procAtMeasure = 0
+	r.qtAtMeasure = 0
 	r.mThreadOps = reg.Vector(metrics.WorkThreadOps, cfg.Threads)
 	r.mFailures = reg.Counter(metrics.WorkCASFailures)
 	r.mReads = reg.Counter(metrics.WorkReads)
@@ -649,6 +652,8 @@ func RunReusing(cfg Config, recycle *Result) (*Result, error) {
 	if reg != nil {
 		reg.Counter(metrics.SimEvents).Add(eng.Processed() - r.procAtMeasure)
 		reg.Counter(metrics.SimQueuePeak).Add(uint64(eng.MaxPending()))
+		reg.Counter(metrics.SimQueueTime).Add(uint64(eng.QueueTimeIntegral() - r.qtAtMeasure))
+		reg.Counter(metrics.WorkWindow).Add(uint64(cfg.Duration))
 		res.Metrics = reg.Snapshot()
 	}
 	releaseRunner(cfg.Machine, r)

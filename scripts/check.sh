@@ -9,7 +9,9 @@
 # a full invariant-checked sweep, a cache-corruption/quarantine smoke,
 # a custom-machine-spec smoke (-machinefile load, digest-keyed resume,
 # spec round trip), a workload-spec smoke (-workloadfile load,
-# digest-keyed resume, -workloads name resolution), a bench smoke
+# digest-keyed resume, -workloads name resolution), a fleet-sweep smoke
+# (-fleet cross-architecture run with bottleneck verdicts, resumed
+# byte-identically from the digest-keyed cache), a bench smoke
 # enforcing the simulation path's allocation budget, and short
 # native-fuzz passes over the run-log parsers, topology hop
 # computation, the machine and workload spec loaders, and the sharded
@@ -169,6 +171,35 @@ if go run ./cmd/atomicsim -quick -quiet -workloads bogus \
     exit 1
 fi
 grep -q 'registered:' "$dir/wlbogus.log"
+
+echo "== fleet sweep smoke (-fleet cross-architecture run, digest-keyed resume)"
+# A fleet sweep must print per-machine bottleneck verdicts and a
+# cross-architecture summary, and an interrupted sweep must resume
+# byte-identically: every cell replays from the digest-keyed cache,
+# metrics snapshots included, so the rollup is recomputable offline.
+go run ./cmd/atomicsim -quick -quiet -fleet -machines XeonE5,Grace \
+    -workloadfile examples/workloads/swap-ladder.json \
+    -manifest "$dir/fleetrun" > "$dir/fleet_fresh.txt"
+go run ./cmd/atomicsim -quick -quiet -fleet -machines XeonE5,Grace \
+    -workloadfile examples/workloads/swap-ladder.json \
+    -resume "$dir/fleetrun" > "$dir/fleet_resumed.txt"
+cmp "$dir/fleet_fresh.txt" "$dir/fleet_resumed.txt" || {
+    echo "-fleet resume differs from fresh run" >&2
+    exit 1
+}
+grep -q '"cached":true' "$dir/fleetrun/manifest.jsonl"
+grep -q '/wl@' "$dir/fleetrun/manifest.jsonl" || {
+    echo "fleet cells are not digest-keyed" >&2
+    exit 1
+}
+grep -q 'bottleneck' "$dir/fleet_fresh.txt" || {
+    echo "fleet report is missing the bottleneck verdict column" >&2
+    exit 1
+}
+grep -q 'FLEET summary' "$dir/fleet_fresh.txt" || {
+    echo "fleet report is missing the cross-architecture summary" >&2
+    exit 1
+}
 
 echo "== bench smoke (allocation budget on the simulation path)"
 # The coherence access path must stay allocation-free, and a full cell
