@@ -16,7 +16,12 @@
 //	             the way a crash or bad disk would;
 //	scheduler  — slow cells (Plan.SleepCell/SleepFor burn wall-clock
 //	             time before the cell computes), which is how hung-cell
-//	             watchdog handling is exercised without a real hang.
+//	             watchdog handling is exercised without a real hang;
+//	daemon     — a deterministic hard crash of the atomicd job server
+//	             after N completed cells (Plan.CrashAfterCells /
+//	             ShouldCrash): SIGKILL semantics at a reproducible
+//	             point, the hook behind the crash-recovery acceptance
+//	             tests in internal/jobs.
 //
 // A Plan describes faults for a whole experiment run; ForCell derives
 // the per-cell view the harness threads into workload.Config.Faults /
@@ -66,6 +71,14 @@ type Plan struct {
 	// watchdog deadline, effectively hung cell. Results are unchanged.
 	SleepCell int
 	SleepFor  time.Duration
+
+	// CrashAfterCells, when positive, arms the daemon-layer crash hook:
+	// the atomicd job server hard-exits the process the moment this
+	// many simulation cells have completed across all jobs — a SIGKILL
+	// with deterministic timing, no drain, no terminal journal record.
+	// It exists so crash-recovery acceptance tests can kill a daemon
+	// mid-job at a reproducible point; see Plan.ShouldCrash.
+	CrashAfterCells int
 }
 
 // CellPlan is one cell's slice of a Plan, with its derived seed.
@@ -108,8 +121,35 @@ func (p *Plan) CellSleep(cell int) time.Duration {
 	return p.SleepFor
 }
 
+// CellLayer returns the plan as the harness cell scheduler should see
+// it: nil when only the daemon-layer crash hook is armed, the plan
+// itself when any simulation- or scheduler-layer fault is. A
+// crash-only daemon run must share cell cache keys with its clean
+// restart (that sharing is the whole recovery story), so it must not
+// pick up a "|faults=" cache-key segment.
+func (p *Plan) CellLayer() *Plan {
+	if p == nil {
+		return nil
+	}
+	if p.LatencyJitterPct <= 0 && p.PanicAtEvent == 0 && p.CASFailFirst <= 0 && p.SleepFor <= 0 {
+		return nil
+	}
+	return p
+}
+
+// ShouldCrash reports whether the daemon crash hook fires once
+// cellsDone simulation cells have completed. Nil-safe; the caller (the
+// atomicd job server) is the one that actually exits the process.
+func (p *Plan) ShouldCrash(cellsDone uint64) bool {
+	return p != nil && p.CrashAfterCells > 0 && cellsDone >= uint64(p.CrashAfterCells)
+}
+
 // Signature is a deterministic description of the plan, joined into
 // cell cache keys so faulted results never collide with clean ones.
+// The daemon-layer crash hook is deliberately excluded: it changes
+// when cells run, never what they compute, and crash-recovery tests
+// depend on the interrupted run sharing cache entries with its clean
+// restart.
 func (p *Plan) Signature() string {
 	if p == nil {
 		return ""
@@ -163,6 +203,8 @@ func (cp *CellPlan) Install(eng *sim.Engine, mem *atomics.Memory) {
 //	panic=N  panic=N@C  panic at event N (in cell C; all cells without @C)
 //	casfail=N         force the first N CAS attempts per cell to fail
 //	sleep=DUR@C       sleep DUR (Go duration) before cell C runs
+//	crash=N           atomicd only: hard-exit the daemon after N
+//	                  completed cells (crash-recovery acceptance hook)
 //
 // An empty spec returns nil (no faults).
 func Parse(spec string) (*Plan, error) {
@@ -209,6 +251,12 @@ func Parse(spec string) (*Plan, error) {
 				return nil, fmt.Errorf("faults: casfail %q", v)
 			}
 			p.CASFailFirst = n
+		case "crash":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("faults: crash %q (want a positive completed-cell count)", v)
+			}
+			p.CrashAfterCells = n
 		case "sleep":
 			dur, cell, hasCell := strings.Cut(v, "@")
 			d, err := time.ParseDuration(dur)
@@ -221,7 +269,7 @@ func Parse(spec string) (*Plan, error) {
 			}
 			p.SleepFor, p.SleepCell = d, c
 		default:
-			return nil, fmt.Errorf("faults: unknown fault %q (want seed, jitter, panic, casfail, sleep)", k)
+			return nil, fmt.Errorf("faults: unknown fault %q (want seed, jitter, panic, casfail, sleep, crash)", k)
 		}
 	}
 	return p, nil
@@ -300,6 +348,20 @@ func CorruptDigest(path string, line int) error {
 	}
 	lines[line-1] = string(raw)
 	return os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644)
+}
+
+// InjectOrphanTerminal appends a well-formed terminal "done" record for
+// a job ID that has no submit record — the residue of a job journal
+// whose head was truncated or rotated away. Replay must quarantine it,
+// never invent a job from a terminal record alone.
+func InjectOrphanTerminal(path, id string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = fmt.Fprintf(f, "{\"type\":\"done\",\"id\":%q,\"digest\":\"deadbeefdeadbeef\"}\n", id)
+	return err
 }
 
 // InjectStaleEntry appends a well-formed cache entry under a key no

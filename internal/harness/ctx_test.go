@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"atomicsmodel/internal/runlog"
+)
+
+// TestRunCellsContextPreCanceled: a context already dead at entry means
+// no cell runs at all — the first claim fails with a CellCanceledError
+// that unwraps to the context's own error.
+func TestRunCellsContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	err := RunCellsContext(ctx, Options{Par: 1}, 4, func(i int) error {
+		ran++
+		return nil
+	})
+	if ran != 0 {
+		t.Fatalf("%d cells ran under a dead context", ran)
+	}
+	var ce *CellCanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CellCanceledError", err)
+	}
+	if ce.Cell != 0 {
+		t.Errorf("canceled cell = %d, want 0 (the first claim)", ce.Cell)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err %v does not unwrap to context.Canceled", err)
+	}
+}
+
+// TestRunCellsContextDeadline: deadline expiry reads as
+// context.DeadlineExceeded through the cell error.
+func TestRunCellsContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err := RunCellsContext(ctx, Options{Par: 1}, 1, func(i int) error { return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded through the cell error", err)
+	}
+}
+
+// TestRunCellsNilContextUnchanged: the ctx-free entry points must not
+// change behavior — a nil Options.Context means run everything.
+func TestRunCellsNilContextUnchanged(t *testing.T) {
+	ran := 0
+	if err := RunCells(Options{Par: 1}, 3, func(i int) error { ran++; return nil }); err != nil || ran != 3 {
+		t.Fatalf("RunCells = (%v, %d cells), want (nil, 3)", err, ran)
+	}
+}
+
+// TestFanoutKeyedContextCancelMidRun cancels the context from inside
+// cell 0's compute. With Par 1 the schedule is deterministic: cell 0
+// completes normally (cancellation is checked between cells, never
+// inside one), cell 1 is canceled before it runs and lands in the
+// manifest with canceled=true under its config key, and cell 2 is
+// never claimed.
+func TestFanoutKeyedContextCancelMidRun(t *testing.T) {
+	dir := t.TempDir()
+	w, err := runlog.Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type res struct{ V int }
+	o := Options{Par: 1, Exp: "CTX", Manifest: w}
+	specs := []int{10, 20, 30}
+	_, ferr := FanoutKeyedContext(ctx, o, specs,
+		func(s int) string { return "cell" + itoaCtx(s) },
+		func(i int, s int) (res, error) {
+			if i == 0 {
+				cancel()
+			}
+			return res{V: s}, nil
+		})
+	if werr := w.Close(); werr != nil {
+		t.Fatal(werr)
+	}
+
+	var ce *CellCanceledError
+	if !errors.As(ferr, &ce) || ce.Cell != 1 {
+		t.Fatalf("err = %v, want cell 1 canceled", ferr)
+	}
+
+	recs := readCellRecords(t, dir)
+	if len(recs) != 2 {
+		t.Fatalf("manifest has %d cell records, want 2 (cell 0 ran, cell 1 canceled, cell 2 unclaimed)", len(recs))
+	}
+	if recs[0].Canceled || recs[0].Error != "" {
+		t.Errorf("cell 0 record = %+v, want a clean completed cell", recs[0])
+	}
+	if !recs[1].Canceled {
+		t.Errorf("cell 1 record = %+v, want canceled=true", recs[1])
+	}
+	if !strings.Contains(recs[1].Key, "cell20") {
+		t.Errorf("canceled record key = %q, want the cell's config key", recs[1].Key)
+	}
+	if recs[1].Digest != "" || recs[1].Cached {
+		t.Errorf("canceled record carries a result: %+v", recs[1])
+	}
+}
+
+// TestFanoutContextHonorsStampedContext: the Context field works when
+// stamped directly on Options too (the path the jobs server uses).
+func TestFanoutContextHonorsStampedContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := Options{Par: 1, Context: ctx}
+	_, err := Fanout(o, []int{1, 2}, func(i, s int) (int, error) { return s, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("stamped-context Fanout = %v, want context.Canceled", err)
+	}
+}
+
+func readCellRecords(t *testing.T, dir string) []runlog.CellRecord {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, "manifest.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []runlog.CellRecord
+	for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+		var c runlog.CellRecord
+		if err := json.Unmarshal([]byte(line), &c); err != nil || c.Type != "cell" {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func itoaCtx(n int) string {
+	return string(rune('0'+n/10)) + string(rune('0'+n%10))
+}

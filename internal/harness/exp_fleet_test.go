@@ -67,7 +67,7 @@ func TestFleetQuickGolden(t *testing.T) {
 		t.Fatalf("fleet quick report differs from golden (len %d vs %d); "+
 			"first divergence at byte %d:\n...%s...",
 			len(got), len(want), diverge(got, string(want)),
-			context(got, diverge(got, string(want))))
+			around(got, diverge(got, string(want))))
 	}
 }
 
@@ -79,7 +79,7 @@ func TestFleetParInvariance(t *testing.T) {
 	if seq != par {
 		t.Fatalf("fleet report differs between -par 1 and -par 8; "+
 			"first divergence at byte %d:\n...%s...",
-			diverge(seq, par), context(seq, diverge(seq, par)))
+			diverge(seq, par), around(seq, diverge(seq, par)))
 	}
 }
 
@@ -128,6 +128,6 @@ func TestFleetResumeInvariance(t *testing.T) {
 	if fresh != resumed {
 		t.Fatalf("resumed fleet report differs from fresh run; "+
 			"first divergence at byte %d:\n...%s...",
-			diverge(fresh, resumed), context(fresh, diverge(fresh, resumed)))
+			diverge(fresh, resumed), around(fresh, diverge(fresh, resumed)))
 	}
 }

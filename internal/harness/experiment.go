@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -15,6 +16,17 @@ import (
 
 // Options tunes an experiment run.
 type Options struct {
+	// Context, when non-nil, bounds the whole run: once it is canceled
+	// or past its deadline the scheduler stops claiming cells, and the
+	// next cell each worker would have started fails with a
+	// *CellCanceledError instead of computing (recorded in the manifest
+	// as canceled). Cells already computing run to completion — a cell
+	// is the preemption granularity, exactly like the watchdog. Nil
+	// means context.Background(): the pre-context behavior, bit for
+	// bit. RunCellsContext/FanoutContext/FanoutKeyedContext stamp this
+	// field; long-running drivers (the atomicd job server) use it to
+	// enforce per-job deadlines and cancellation.
+	Context context.Context
 	// Machines to evaluate; nil means machine.All().
 	Machines []*machine.Machine
 	// Quick trims sweeps and shortens simulated durations for CI-speed

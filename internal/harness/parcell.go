@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -103,6 +104,40 @@ func (e *CellRetriedError) Error() string {
 
 func (e *CellRetriedError) Unwrap() error { return e.Last }
 
+// CellCanceledError reports a cell that was not run because the option
+// set's context was canceled or its deadline passed before the cell
+// started. The run aborts promptly between cells: cells already
+// computing finish (and still reach the manifest and cache), canceled
+// cells are recorded in the manifest with canceled=true, and the
+// experiment fails with this error. Cause is the context's error, so
+// errors.Is(err, context.Canceled) and context.DeadlineExceeded both
+// work through it.
+type CellCanceledError struct {
+	// Cell is the index of the cell that was about to run.
+	Cell int
+	// Cause is ctx.Err(): context.Canceled or context.DeadlineExceeded.
+	Cause error
+}
+
+func (e *CellCanceledError) Error() string {
+	return fmt.Sprintf("cell %d canceled before it ran: %v", e.Cell, e.Cause)
+}
+
+func (e *CellCanceledError) Unwrap() error { return e.Cause }
+
+// canceled returns the *CellCanceledError for cell i when the option
+// set's context is done, nil otherwise (including when no context is
+// attached).
+func (o Options) canceled(i int) *CellCanceledError {
+	if o.Context == nil {
+		return nil
+	}
+	if err := o.Context.Err(); err != nil {
+		return &CellCanceledError{Cell: i, Cause: err}
+	}
+	return nil
+}
+
 // cellRetryBackoff is the base backoff between cell retry attempts
 // (attempt k sleeps k × this). It is wall-clock scheduling only and
 // never affects results.
@@ -180,6 +215,36 @@ func RunCells(o Options, n int, fn func(i int) error) error {
 	return nil
 }
 
+// RunCellsContext is RunCells bounded by ctx: a cell whose turn comes
+// after ctx is done fails with a *CellCanceledError instead of running,
+// so a canceled or deadline-exceeded run aborts promptly between cells
+// instead of running to completion. RunCells is the ctx-free wrapper
+// (it honors an Options.Context stamped by a caller further up).
+func RunCellsContext(ctx context.Context, o Options, n int, fn func(i int) error) error {
+	o.Context = ctx
+	return RunCells(o, n, func(i int) error {
+		if cerr := o.canceled(i); cerr != nil {
+			return cerr
+		}
+		return fn(i)
+	})
+}
+
+// FanoutContext is Fanout bounded by ctx; see RunCellsContext.
+func FanoutContext[S, R any](ctx context.Context, o Options, specs []S, f func(i int, spec S) (R, error)) ([]R, error) {
+	o.Context = ctx
+	return Fanout(o, specs, f)
+}
+
+// FanoutKeyedContext is FanoutKeyed bounded by ctx; see RunCellsContext.
+// Canceled cells are recorded in the manifest (canceled=true) under
+// their config key, so a resumed or re-submitted run can tell "never
+// ran because the job was canceled" from "ran and failed".
+func FanoutKeyedContext[S, R any](ctx context.Context, o Options, specs []S, key func(spec S) string, f func(i int, spec S) (R, error)) ([]R, error) {
+	o.Context = ctx
+	return FanoutKeyed(o, specs, key, f)
+}
+
 // Fanout runs f over every spec on the cell scheduler and returns the
 // results in spec order. f receives the spec's index so it can derive
 // per-cell seeds or labels without capturing loop variables. Cells are
@@ -223,6 +288,15 @@ func FanoutKeyed[S, R any](o Options, specs []S, key func(spec S) string, f func
 		var k string
 		if key != nil {
 			k = o.cellKey(key(specs[i]))
+		}
+
+		// Cancellation is checked between cells, never inside one: a
+		// canceled cell is recorded in the manifest (it has a key and a
+		// canceled mark but no result) and fails the run like any other
+		// cell error, which stops the scheduler from claiming more.
+		if cerr := o.canceled(i); cerr != nil {
+			o.recordCell(i, k, "", false, start, nil, cerr)
+			return cerr
 		}
 
 		// Resume path: replay the cached result for this config key.
@@ -304,6 +378,12 @@ func computeCell[S, R any](o Options, i int, spec S, f func(i int, spec S) (R, e
 		}
 		last = err
 		if attempt >= o.CellRetries {
+			break
+		}
+		// A canceled run must not burn its remaining attempts: the
+		// retry budget is for transient failures, not for outliving
+		// the caller's deadline.
+		if o.Context != nil && o.Context.Err() != nil {
 			break
 		}
 	}
@@ -407,6 +487,10 @@ func (o Options) recordCell(i int, key, digest string, cached bool, start time.T
 		var te *CellTimeoutError
 		if errors.As(err, &te) {
 			rec.TimedOut = true
+		}
+		var ce *CellCanceledError
+		if errors.As(err, &ce) {
+			rec.Canceled = true
 		}
 		var re *CellRetriedError
 		if errors.As(err, &re) {

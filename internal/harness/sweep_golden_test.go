@@ -63,7 +63,7 @@ func TestQuickSweepGolden(t *testing.T) {
 				t.Fatalf("quick sweep for %s differs from golden %s (len %d vs %d); "+
 					"first divergence at byte %d:\n...%s...",
 					tc.name, tc.golden, len(got), len(want), diverge(got, string(want)),
-					context(got, diverge(got, string(want))))
+					around(got, diverge(got, string(want))))
 			}
 		})
 	}
@@ -82,7 +82,7 @@ func diverge(a, b string) int {
 	return n
 }
 
-func context(s string, at int) string {
+func around(s string, at int) string {
 	lo, hi := at-80, at+80
 	if lo < 0 {
 		lo = 0

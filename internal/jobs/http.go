@@ -1,0 +1,223 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxSpecBytes bounds a job request body. A legitimate spec — even one
+// with inline machine and workload definitions — is a few KB; anything
+// bigger is shed before it is read.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /jobs             submit a job spec → 202 (admitted) or 200
+//	                       (deduplicated against an existing job);
+//	                       429/503 + Retry-After when load is shed
+//	GET  /jobs             list all jobs in submission order
+//	GET  /jobs/{id}        one job's status; ?wait=30s blocks until the
+//	                       job is terminal or the wait expires
+//	GET  /jobs/{id}/result a done job's rendered tables (text/plain)
+//	GET  /jobs/{id}/stream NDJSON status stream until terminal
+//	GET  /healthz          daemon liveness + counters
+//	GET  /readyz           200 admitting, 503 draining
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return mux
+}
+
+// clientID identifies the submitter for per-client admission caps: the
+// X-Client header when present (cooperating clients name themselves),
+// else the remote host.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	buf, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("job spec exceeds %d bytes", maxSpecBytes))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		return
+	}
+
+	j, admitted, err := s.Submit(clientID(r), buf)
+	if err != nil {
+		var adm *AdmissionError
+		switch {
+		case errors.As(err, &adm):
+			w.Header().Set("Retry-After", strconv.Itoa(int(adm.RetryAfter/time.Second)))
+			code := http.StatusTooManyRequests
+			if adm.Draining {
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, adm.Error())
+		default:
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	code := http.StatusOK
+	if admitted {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, j.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad wait duration %q: %v", waitStr, err))
+			return
+		}
+		select {
+		case <-j.doneCh():
+		case <-time.After(d):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	st := j.status()
+	switch st.State {
+	case StateDone:
+		text, err := s.Result(st.ID)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(text)
+	case StateFailed:
+		writeError(w, http.StatusConflict, "job failed: "+st.Error)
+	default:
+		// Not done yet: tell the client when to come back rather than
+		// holding the connection.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusAccepted, fmt.Sprintf("job is %s (%d/%d cells)", st.State, st.CellsDone, st.CellsTotal))
+	}
+}
+
+// handleStream serves an NDJSON event stream: the job's current status
+// immediately, then every transition until the job is terminal or the
+// client goes away. Slow readers drop intermediate progress events (the
+// subscriber channel is lossy by design); terminal states always
+// arrive because finish() publishes them before closing done.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+
+	ch, st, unsubscribe := j.subscribe()
+	defer unsubscribe()
+	enc := json.NewEncoder(w)
+	emit := func(st Status) bool {
+		if err := enc.Encode(st); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return !st.State.Terminal()
+	}
+	if !emit(st) {
+		return
+	}
+	done := j.doneCh()
+	for {
+		select {
+		case st := <-ch:
+			if !emit(st) {
+				return
+			}
+		case <-done:
+			// Drain any buffered events, then emit the terminal state.
+			for {
+				select {
+				case st := <-ch:
+					if !emit(st) {
+						return
+					}
+				default:
+					emit(j.status())
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}

@@ -1,0 +1,234 @@
+package jobs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"atomicsmodel/internal/faults"
+	"atomicsmodel/internal/runlog"
+)
+
+// openForTest opens dir's journal and fails the test on error.
+func openForTest(t *testing.T, dir string) (*Journal, []*RecoveredJob, []runlog.Quarantine) {
+	t.Helper()
+	j, jobs, q, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	return j, jobs, q
+}
+
+func specRaw(t *testing.T, body string) json.RawMessage {
+	t.Helper()
+	s, err := ParseSpec([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := openForTest(t, dir)
+	raw := specRaw(t, `{"workloads":["high-faa"],"quick":true}`)
+	if err := j.Submit("jAAA", raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Submit("jBBB", raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Submit("jCCC", raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Done("jAAA", "cafecafecafecafe"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Failed("jBBB", "deadline exceeded"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, jobs, quarantined := openForTest(t, dir)
+	defer j2.Close()
+	if len(quarantined) != 0 {
+		t.Fatalf("clean journal quarantined %d lines: %+v", len(quarantined), quarantined)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("recovered %d jobs, want 3", len(jobs))
+	}
+	want := map[string]State{"jAAA": StateDone, "jBBB": StateFailed, "jCCC": StateQueued}
+	for _, job := range jobs {
+		if job.State != want[job.ID] {
+			t.Errorf("job %s state = %s, want %s", job.ID, job.State, want[job.ID])
+		}
+	}
+	if jobs[0].ID != "jAAA" || jobs[2].ID != "jCCC" {
+		t.Errorf("recovery order %s,%s,%s; want first-submission order", jobs[0].ID, jobs[1].ID, jobs[2].ID)
+	}
+	if jobs[0].ResultDigest != "cafecafecafecafe" {
+		t.Errorf("done job result digest = %q", jobs[0].ResultDigest)
+	}
+	if jobs[1].Error != "deadline exceeded" {
+		t.Errorf("failed job error = %q", jobs[1].Error)
+	}
+}
+
+func TestJournalResubmitAfterTerminal(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := openForTest(t, dir)
+	raw := specRaw(t, `{"workloads":["high-faa"]}`)
+	j.Submit("jX", raw)
+	j.Failed("jX", "boom")
+	j.Submit("jX", raw) // resubmission: the job is pending again
+	j.Close()
+
+	_, jobs, _ := openForTest(t, dir)
+	if len(jobs) != 1 || jobs[0].State != StateQueued || jobs[0].Error != "" {
+		t.Fatalf("resubmitted job = %+v, want one pending job with no error", jobs[0])
+	}
+}
+
+func TestJournalTornFinalWrite(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := openForTest(t, dir)
+	raw := specRaw(t, `{"workloads":["high-faa"]}`)
+	j.Submit("jOK", raw)
+	j.Submit("jTORN", raw)
+	j.Close()
+	if err := faults.TearFinalLine(filepath.Join(dir, journalFile)); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, jobs, quarantined := openForTest(t, dir)
+	defer j2.Close()
+	if len(jobs) != 1 || jobs[0].ID != "jOK" {
+		t.Fatalf("recovered %d jobs, want just jOK (torn line dropped)", len(jobs))
+	}
+	if len(quarantined) != 1 || !strings.Contains(quarantined[0].Reason, "torn") {
+		t.Fatalf("quarantine = %+v, want one torn-final-write entry", quarantined)
+	}
+}
+
+func TestJournalCorruptLineQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := openForTest(t, dir)
+	raw := specRaw(t, `{"workloads":["high-faa"]}`)
+	j.Submit("jBAD", raw)
+	j.Submit("jGOOD", raw)
+	j.Close()
+	// A flipped bit mid-payload either breaks the JSON or breaks the
+	// spec digest; both must quarantine line 1 and keep line 2.
+	if err := faults.FlipPayloadByte(filepath.Join(dir, journalFile), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, jobs, quarantined := openForTest(t, dir)
+	defer j2.Close()
+	if len(jobs) != 1 || jobs[0].ID != "jGOOD" {
+		t.Fatalf("recovered %v, want just jGOOD", jobIDs(jobs))
+	}
+	if len(quarantined) != 1 {
+		t.Fatalf("quarantined %d lines, want 1: %+v", len(quarantined), quarantined)
+	}
+}
+
+func TestJournalDigestMismatchQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := openForTest(t, dir)
+	j.Submit("jX", specRaw(t, `{"workloads":["high-faa"]}`))
+	j.Close()
+	// Rot the stored digest: the record parses fine but carries data
+	// the daemon must not trust.
+	if err := faults.CorruptDigest(filepath.Join(dir, journalFile), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, jobs, quarantined := openForTest(t, dir)
+	defer j2.Close()
+	if len(jobs) != 0 {
+		t.Fatalf("recovered %v from a digest-mismatched record", jobIDs(jobs))
+	}
+	if len(quarantined) != 1 || !strings.Contains(quarantined[0].Reason, "digest mismatch") {
+		t.Fatalf("quarantine = %+v, want a digest-mismatch entry", quarantined)
+	}
+}
+
+func TestJournalOrphanTerminalQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := openForTest(t, dir)
+	j.Submit("jX", specRaw(t, `{"workloads":["high-faa"]}`))
+	j.Close()
+	if err := faults.InjectOrphanTerminal(filepath.Join(dir, journalFile), "jGHOST"); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, jobs, quarantined := openForTest(t, dir)
+	defer j2.Close()
+	if len(jobs) != 1 || jobs[0].ID != "jX" {
+		t.Fatalf("recovered %v, want just jX (no job invented from the orphan)", jobIDs(jobs))
+	}
+	if len(quarantined) != 1 || !strings.Contains(quarantined[0].Reason, "no submit record") {
+		t.Fatalf("quarantine = %+v, want a terminal-without-submit entry", quarantined)
+	}
+}
+
+func TestValidateJournal(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ValidateJournal(dir); err == nil {
+		t.Fatal("ValidateJournal on an empty dir = nil error, want missing-file error")
+	}
+	j, _, _ := openForTest(t, dir)
+	raw := specRaw(t, `{"workloads":["high-faa"]}`)
+	j.Submit("jA", raw)
+	j.Done("jA", "cafecafecafecafe")
+	j.Submit("jB", raw)
+	j.Failed("jB", "boom")
+	j.Submit("jC", raw)
+	j.Close()
+
+	summary, err := ValidateJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "journal ok: 3 jobs (1 done, 1 failed, 1 pending)"
+	if summary != want {
+		t.Fatalf("summary = %q, want %q", summary, want)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, journalFile), append(readFile(t, filepath.Join(dir, journalFile)), []byte("{garbage\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	summary, err = ValidateJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "quarantined") {
+		t.Fatalf("summary = %q, want a quarantined count", summary)
+	}
+}
+
+func jobIDs(jobs []*RecoveredJob) []string {
+	out := make([]string, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.ID
+	}
+	return out
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,160 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecStrict(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"unknown field", `{"workloads":["high-faa"],"bogus":1}`, "bogus"},
+		{"trailing garbage", `{"workloads":["high-faa"]} {"again":true}`, "trailing"},
+		{"nested unknown field", `{"workloadSpec":{"name":"x","nope":1}}`, "nope"},
+		{"not json", `hello`, "parsing"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseSpec([]byte(c.body)); err == nil {
+				t.Fatalf("ParseSpec(%s) = nil error, want %q", c.body, c.wantErr)
+			} else if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("ParseSpec(%s) error = %v, want substring %q", c.body, err, c.wantErr)
+			}
+		})
+	}
+	if _, err := ParseSpec([]byte(`{"workloads":["high-faa"],"quick":true}`)); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func mustID(t *testing.T, body string) string {
+	t.Helper()
+	s, err := ParseSpec([]byte(body))
+	if err != nil {
+		t.Fatalf("ParseSpec(%s): %v", body, err)
+	}
+	id, err := s.ID()
+	if err != nil {
+		t.Fatalf("ID(%s): %v", body, err)
+	}
+	return id
+}
+
+func TestJobIDCanonical(t *testing.T) {
+	base := mustID(t, `{"workloads":["high-faa"],"quick":true}`)
+
+	// Content-addressing: every spelling of the same work is one job.
+	same := []struct{ name, body string }{
+		{"explicit default seed", `{"workloads":["high-faa"],"quick":true,"seed":42}`},
+		{"explicit default machines", `{"machines":["XeonE5","KNL"],"workloads":["high-faa"],"quick":true}`},
+		{"machine name case", `{"machines":["xeone5","knl"],"workloads":["high-faa"],"quick":true}`},
+		{"deadline is policy, not identity", `{"workloads":["high-faa"],"quick":true,"deadlineMS":5000}`},
+	}
+	for _, c := range same {
+		if got := mustID(t, c.body); got != base {
+			t.Errorf("%s: ID %s != base %s (must deduplicate)", c.name, got, base)
+		}
+	}
+
+	// Any knob that changes the result changes the identity.
+	diff := []struct{ name, body string }{
+		{"seed", `{"workloads":["high-faa"],"quick":true,"seed":7}`},
+		{"quick", `{"workloads":["high-faa"]}`},
+		{"metrics", `{"workloads":["high-faa"],"quick":true,"metrics":true}`},
+		{"check", `{"workloads":["high-faa"],"quick":true,"check":true}`},
+		{"workload", `{"workloads":["low-faa"],"quick":true}`},
+		{"machines", `{"machines":["KNL"],"workloads":["high-faa"],"quick":true}`},
+		{"fleet", `{"workloads":["high-faa"],"quick":true,"fleet":true}`},
+	}
+	for _, c := range diff {
+		if got := mustID(t, c.body); got == base {
+			t.Errorf("%s: ID unchanged (%s); distinct work must get a distinct job", c.name, got)
+		}
+	}
+
+	if id2 := mustID(t, `{"workloads":["high-faa"],"quick":true}`); id2 != base {
+		t.Errorf("ID not deterministic: %s then %s", base, id2)
+	}
+}
+
+func TestResolveValidation(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"no workloads", `{"quick":true}`, "at least one workload"},
+		{"unknown workload", `{"workloads":["nope"]}`, "unknown workload"},
+		{"unknown machine", `{"machines":["nope"],"workloads":["high-faa"]}`, "unknown machine"},
+		{"knee without fleet", `{"workloads":["high-faa"],"knee":0.5}`, "fleet option"},
+		{"knee out of range", `{"workloads":["high-faa"],"fleet":true,"knee":1.5}`, "knee"},
+		{"negative deadline", `{"workloads":["high-faa"],"deadlineMS":-1}`, "deadlineMS"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := ParseSpec([]byte(c.body))
+			if err != nil {
+				t.Fatalf("ParseSpec: %v", err)
+			}
+			if err := s.Validate(); err == nil {
+				t.Fatalf("Validate(%s) = nil, want %q", c.body, c.wantErr)
+			} else if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("Validate(%s) = %v, want substring %q", c.body, err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestResolveDefaults(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"workloads":["high-faa"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seed != DefaultSeed {
+		t.Errorf("default seed = %d, want %d", r.Seed, DefaultSeed)
+	}
+	if len(r.Machines) != 2 {
+		t.Errorf("default machines = %d, want the paper pair", len(r.Machines))
+	}
+
+	fleet, err := ParseSpec([]byte(`{"workloads":["high-faa"],"fleet":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := fleet.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Machines) <= len(r.Machines) {
+		t.Errorf("fleet default machines = %d, want the whole registry (> %d)", len(fr.Machines), len(r.Machines))
+	}
+}
+
+// FuzzJobSpecLoad fuzzes the submit path's parser the way a hostile or
+// confused client exercises it: arbitrary bytes must produce either a
+// clean error or a spec whose validation and identity derivation never
+// panic, and the identity must be deterministic.
+func FuzzJobSpecLoad(f *testing.F) {
+	f.Add([]byte(`{"workloads":["high-faa"],"quick":true}`))
+	f.Add([]byte(`{"machines":["KNL"],"workloadSpec":{"name":"w","pattern":"cas-retry"},"seed":7}`))
+	f.Add([]byte(`{"fleet":true,"knee":0.8,"workloads":["high-faa","low-faa"]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		id1, err1 := s.ID()
+		id2, err2 := s.ID()
+		if (err1 == nil) != (err2 == nil) || id1 != id2 {
+			t.Fatalf("ID not deterministic: (%q, %v) then (%q, %v)", id1, err1, id2, err2)
+		}
+		if err1 == nil && (len(id1) < 2 || id1[0] != 'j') {
+			t.Fatalf("malformed job ID %q", id1)
+		}
+	})
+}

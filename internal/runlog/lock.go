@@ -1,0 +1,49 @@
+package runlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// acquireLock opens (creating if needed) the directory's writer lock
+// file and takes a non-blocking exclusive flock on it. On success the
+// holder's pid is written into the file so a losing opener can say who
+// owns the cache; on contention the returned error names that pid.
+func acquireLock(dir string) (*os.File, error) {
+	path := filepath.Join(dir, lockFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := flockExclusive(f); err != nil {
+		holder := "unknown pid"
+		if b, rerr := os.ReadFile(path); rerr == nil {
+			if pid := strings.TrimSpace(string(b)); pid != "" {
+				holder = "pid " + pid
+			}
+		}
+		f.Close()
+		return nil, fmt.Errorf("runlog: cell cache in %s is locked by %s (a live writer); "+
+			"stop it, point this run at another directory, or open read-only", dir, holder)
+	}
+	// Record the owner for the contention message. Truncate first: a
+	// previous owner's longer pid must not leave trailing digits.
+	if err := f.Truncate(0); err == nil {
+		_, _ = f.WriteAt([]byte(fmt.Sprintf("%d\n", os.Getpid())), 0)
+		_ = f.Sync()
+	}
+	return f, nil
+}
+
+// releaseLock drops the flock and closes the lock file. The file is
+// left in place: unlinking it would let a concurrent opener lock a
+// dead inode while a third process locks a fresh one.
+func releaseLock(f *os.File) {
+	if f == nil {
+		return
+	}
+	flockRelease(f)
+	f.Close()
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package runlog
+
+import "os"
+
+// Non-unix platforms get no advisory locking: OpenCache degrades to
+// the historical single-process contract rather than failing to build.
+func flockExclusive(*os.File) error { return nil }
+
+func flockRelease(*os.File) {}

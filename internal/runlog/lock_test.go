@@ -1,0 +1,66 @@
+//go:build unix
+
+package runlog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestCacheWriterLockExcludesSecondWriter: one live writer per run
+// directory. A second OpenCache must fail fast with an error naming
+// the holder, and the lock must release on Close.
+func TestCacheWriterLockExcludesSecondWriter(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCache(dir); err == nil {
+		t.Fatal("second OpenCache succeeded; two writers would interleave appends")
+	} else if !strings.Contains(err.Error(), "locked by") {
+		t.Fatalf("contention error = %v, want it to name the holder", err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatalf("OpenCache after Close: %v (lock not released)", err)
+	}
+	c2.Close()
+}
+
+// TestCacheReadOnlyBypassesLock: read-only opens coexist with a live
+// writer (that is their point — -checkmanifest against a running
+// daemon) and refuse writes.
+func TestCacheReadOnlyBypassesLock(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Put("k", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenCacheReadOnly(dir)
+	if err != nil {
+		t.Fatalf("OpenCacheReadOnly alongside a writer: %v", err)
+	}
+	if raw, _, ok := r.Get("k"); !ok || string(raw) != `{"v":1}` {
+		t.Fatalf("read-only Get = (%s, %v), want the written entry", raw, ok)
+	}
+	if _, err := r.Put("k2", []byte(`{}`)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only Put = %v, want ErrReadOnly", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("read-only Close: %v", err)
+	}
+	// The writer is unaffected by the reader's lifecycle.
+	if _, err := w.Put("k3", []byte(`{"v":3}`)); err != nil {
+		t.Fatalf("writer Put after reader Close: %v", err)
+	}
+}

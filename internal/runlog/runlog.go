@@ -79,6 +79,9 @@ type CellRecord struct {
 	// TimedOut marks errors raised by the cell watchdog (the cell
 	// exceeded its wall-clock deadline).
 	TimedOut bool `json:"timed_out,omitempty"`
+	// Canceled marks cells that never ran because the run's context was
+	// canceled (or past its deadline) when their turn came.
+	Canceled bool `json:"canceled,omitempty"`
 	// Attempts is how many times the cell was attempted when retries
 	// were enabled (recorded only when > 1).
 	Attempts int `json:"attempts,omitempty"`
@@ -261,62 +264,115 @@ type Quarantine struct {
 // for concurrent use. Entries live in memory and are appended to
 // <dir>/cells.jsonl as they are stored; the newest entry for a key
 // wins on load.
+//
+// A writable cache holds an advisory file lock (<dir>/cells.lock) for
+// its whole lifetime, so two processes can never interleave appends
+// into cells.jsonl: the second OpenCache on a live directory fails
+// with a "locked by pid N" error instead of silently corrupting the
+// log. Concurrent readers use OpenCacheReadOnly, which takes no lock
+// and refuses Put.
 type Cache struct {
 	mu          sync.Mutex
 	f           *os.File
 	w           *bufio.Writer
+	lock        *os.File
+	readOnly    bool
 	entries     map[string]cacheEntry
 	loaded      int
 	quarantined []Quarantine
 }
 
+// ErrReadOnly is returned by Put on a cache opened with
+// OpenCacheReadOnly.
+var ErrReadOnly = fmt.Errorf("runlog: cache is open read-only")
+
+// lockFile is the advisory lock guarding cells.jsonl writers. The file
+// holds the owning process's pid (for the error message); the lock
+// itself is a kernel flock on the open descriptor, so it cannot
+// outlive a crashed owner. The file is deliberately never removed —
+// unlinking a lock file races a concurrent opener onto a dead inode.
+const lockFile = "cells.lock"
+
 // OpenCache loads any existing cell cache in dir and opens it for
-// appending. Corruption is quarantined rather than fatal: a truncated
-// final line (killed run), an unparseable line (bad disk, editor
-// mishap), and an entry whose stored digest no longer matches its
-// payload (bit rot) are each recorded in Quarantined and excluded from
-// the cache, so the affected cells recompute instead of replaying
-// garbage or crashing the run.
+// appending, taking the directory's writer lock. Corruption is
+// quarantined rather than fatal: a truncated final line (killed run),
+// an unparseable line (bad disk, editor mishap), and an entry whose
+// stored digest no longer matches its payload (bit rot) are each
+// recorded in Quarantined and excluded from the cache, so the affected
+// cells recompute instead of replaying garbage or crashing the run. A
+// directory whose writer lock is already held (another live process)
+// fails with an error naming the holder's pid.
 func OpenCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	path := filepath.Join(dir, cacheFile)
-	entries := map[string]cacheEntry{}
-	var quarantined []Quarantine
-	if b, err := os.ReadFile(path); err == nil {
-		lines := splitLines(b)
-		for i, line := range lines {
-			if len(line) == 0 {
-				continue
-			}
-			var e cacheEntry
-			if err := json.Unmarshal(line, &e); err != nil {
-				reason := fmt.Sprintf("unparseable entry: %v", err)
-				if i == len(lines)-1 {
-					reason = "torn final write (killed run)"
-				}
-				quarantined = append(quarantined, Quarantine{Line: i + 1, Reason: reason})
-				continue
-			}
-			if got := Digest(e.Value); got != e.Digest {
-				quarantined = append(quarantined, Quarantine{
-					Line:   i + 1,
-					Key:    e.Key,
-					Reason: fmt.Sprintf("digest mismatch: stored %s, payload hashes to %s", e.Digest, got),
-				})
-				continue
-			}
-			entries[e.Key] = e
-		}
-	} else if !os.IsNotExist(err) {
-		return nil, err
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	lock, err := acquireLock(dir)
 	if err != nil {
 		return nil, err
 	}
-	return &Cache{f: f, w: bufio.NewWriter(f), entries: entries, loaded: len(entries), quarantined: quarantined}, nil
+	entries, quarantined, err := loadCacheFile(dir)
+	if err != nil {
+		releaseLock(lock)
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, cacheFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		releaseLock(lock)
+		return nil, err
+	}
+	return &Cache{f: f, w: bufio.NewWriter(f), lock: lock, entries: entries, loaded: len(entries), quarantined: quarantined}, nil
+}
+
+// OpenCacheReadOnly loads the cell cache in dir without taking the
+// writer lock and without opening an append stream: any number of
+// read-only opens may coexist with one live writer. Put fails with
+// ErrReadOnly. A missing cache loads as empty, like OpenCache on a
+// fresh directory.
+func OpenCacheReadOnly(dir string) (*Cache, error) {
+	entries, quarantined, err := loadCacheFile(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{readOnly: true, entries: entries, loaded: len(entries), quarantined: quarantined}, nil
+}
+
+// loadCacheFile parses cells.jsonl into live entries plus quarantined
+// corrupt lines; a missing file is an empty cache.
+func loadCacheFile(dir string) (map[string]cacheEntry, []Quarantine, error) {
+	entries := map[string]cacheEntry{}
+	var quarantined []Quarantine
+	b, err := os.ReadFile(filepath.Join(dir, cacheFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return entries, nil, nil
+		}
+		return nil, nil, err
+	}
+	lines := splitLines(b)
+	for i, line := range lines {
+		if len(line) == 0 {
+			continue
+		}
+		var e cacheEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			reason := fmt.Sprintf("unparseable entry: %v", err)
+			if i == len(lines)-1 {
+				reason = "torn final write (killed run)"
+			}
+			quarantined = append(quarantined, Quarantine{Line: i + 1, Reason: reason})
+			continue
+		}
+		if got := Digest(e.Value); got != e.Digest {
+			quarantined = append(quarantined, Quarantine{
+				Line:   i + 1,
+				Key:    e.Key,
+				Reason: fmt.Sprintf("digest mismatch: stored %s, payload hashes to %s", e.Digest, got),
+			})
+			continue
+		}
+		entries[e.Key] = e
+	}
+	return entries, quarantined, nil
 }
 
 // Quarantined returns the corrupt lines isolated when the cache was
@@ -334,6 +390,9 @@ func (c *Cache) Get(key string) (json.RawMessage, string, bool) {
 
 // Put stores a cell result under key and returns its digest.
 func (c *Cache) Put(key string, value json.RawMessage) (string, error) {
+	if c.readOnly {
+		return "", ErrReadOnly
+	}
 	e := cacheEntry{Key: key, Digest: Digest(value), Value: value}
 	b, err := json.Marshal(e)
 	if err != nil {
@@ -361,14 +420,19 @@ func (c *Cache) Len() int {
 // was opened (before this run added any).
 func (c *Cache) Loaded() int { return c.loaded }
 
-// Close flushes and closes the cache's append log.
+// Close flushes and closes the cache's append log and releases the
+// directory's writer lock. Closing a read-only cache is a no-op.
 func (c *Cache) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.readOnly {
+		return nil
+	}
 	err := c.w.Flush()
 	if cerr := c.f.Close(); err == nil {
 		err = cerr
 	}
+	releaseLock(c.lock)
 	return err
 }
 
@@ -433,7 +497,9 @@ func Validate(dir string) (string, error) {
 	if runs == 0 {
 		return "", fmt.Errorf("runlog: %s has no run summary (run did not complete)", manifestFile)
 	}
-	c, err := OpenCache(dir)
+	// Read-only: validation must work on a directory whose writer lock
+	// is held by a live daemon, and must not create files.
+	c, err := OpenCacheReadOnly(dir)
 	if err != nil {
 		return "", err
 	}

@@ -11,7 +11,8 @@
 # spec round trip), a workload-spec smoke (-workloadfile load,
 # digest-keyed resume, -workloads name resolution), a fleet-sweep smoke
 # (-fleet cross-architecture run with bottleneck verdicts, resumed
-# byte-identically from the digest-keyed cache), a bench smoke
+# byte-identically from the digest-keyed cache), an atomicd job-server
+# smoke (submit → poll → dedup → SIGTERM drain), a bench smoke
 # enforcing the simulation path's allocation budget, and short
 # native-fuzz passes over the run-log parsers, topology hop
 # computation, the machine and workload spec loaders, and the sharded
@@ -30,8 +31,8 @@ go run ./scripts/docscheck
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/harness ./internal/coherence ./internal/runlog"
-go test -race ./internal/harness ./internal/coherence ./internal/runlog
+echo "== go test -race ./internal/harness ./internal/coherence ./internal/runlog ./internal/jobs"
+go test -race ./internal/harness ./internal/coherence ./internal/runlog ./internal/jobs
 
 echo "== atomicsim -manifest smoke run"
 dir=$(mktemp -d)
@@ -201,6 +202,45 @@ grep -q 'FLEET summary' "$dir/fleet_fresh.txt" || {
     exit 1
 }
 
+echo "== atomicd smoke (job server: submit, poll, dedup, drain)"
+# The job daemon must serve a quick job end to end, deduplicate an
+# identical resubmit against the cache (200, not 202, and no second
+# execution), answer health checks, and drain clean on SIGTERM: exit 0,
+# addr file removed, journal left with nothing pending.
+go build -o "$dir/atomicd" ./cmd/atomicd
+"$dir/atomicd" -dir "$dir/adrun" -quiet &
+atomicd_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$dir/adrun/atomicd.addr" ] && break
+    sleep 0.1
+done
+addr=$(cat "$dir/adrun/atomicd.addr")
+job='{"machines":["XeonE5"],"workloads":["high-faa"],"quick":true}'
+code=$(curl -s -o "$dir/submit1.json" -w '%{http_code}' \
+    -X POST "http://$addr/jobs" -d "$job")
+[ "$code" = 202 ] || { echo "first submit returned $code, want 202" >&2; exit 1; }
+jobid=$(sed -n 's/.*"id": *"\(j[a-f0-9]*\)".*/\1/p' "$dir/submit1.json" | head -n 1)
+curl -s "http://$addr/jobs/$jobid?wait=60s" > "$dir/poll.json"
+grep -q '"state": *"done"' "$dir/poll.json" || {
+    echo "job did not reach done:" >&2; cat "$dir/poll.json" >&2; exit 1
+}
+curl -s "http://$addr/jobs/$jobid/result" | grep -q 'threads' || {
+    echo "job result is not a rendered table" >&2; exit 1
+}
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/jobs" -d "$job")
+[ "$code" = 200 ] || { echo "dup submit returned $code, want 200 (dedup)" >&2; exit 1; }
+curl -s "http://$addr/healthz" | grep -q '"executed": *1' || {
+    echo "dedup re-executed the job" >&2; exit 1
+}
+kill -TERM "$atomicd_pid"
+wait "$atomicd_pid" || { echo "atomicd drain exited nonzero" >&2; exit 1; }
+[ ! -e "$dir/adrun/atomicd.addr" ] || {
+    echo "addr file survived the drain" >&2; exit 1
+}
+"$dir/atomicd" -checkjournal "$dir/adrun" | grep -q '0 pending' || {
+    echo "drained journal still has pending jobs" >&2; exit 1
+}
+
 echo "== bench smoke (allocation budget on the simulation path)"
 # The coherence access path must stay allocation-free, and a full cell
 # must stay within a one-time pool-build budget (the steady state is
@@ -227,5 +267,6 @@ go test -run FuzzNothing -fuzz FuzzHops -fuzztime 5s ./internal/topology > /dev/
 go test -run FuzzNothing -fuzz FuzzSpecLoad -fuzztime 5s ./internal/machine > /dev/null
 go test -run FuzzNothing -fuzz FuzzWorkloadSpecLoad -fuzztime 5s ./internal/workload > /dev/null
 go test -run FuzzNothing -fuzz FuzzShardMerge -fuzztime 5s ./internal/sim > /dev/null
+go test -run FuzzNothing -fuzz FuzzJobSpecLoad -fuzztime 5s ./internal/jobs > /dev/null
 
 echo "ok"
