@@ -41,6 +41,7 @@ import (
 	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/metrics"
 	"atomicsmodel/internal/native"
+	"atomicsmodel/internal/predict"
 	"atomicsmodel/internal/sim"
 	"atomicsmodel/internal/trace"
 	"atomicsmodel/internal/workload"
@@ -244,6 +245,72 @@ type (
 
 // RunApp executes an application benchmark.
 func RunApp(cfg AppConfig) (*AppResult, error) { return apps.Run(cfg) }
+
+// AppSpec is the declarative, serializable concurrent-object
+// description — the apps-side analog of WorkloadSpec. It names a
+// registered structure (AppStructureNames) plus its knobs, and its
+// content digest keys A-suite simulation cells in the resume cache.
+type AppSpec = apps.Spec
+
+// ParseAppSpec decodes and validates a JSON app spec (strictly:
+// unknown fields and trailing garbage are errors).
+func ParseAppSpec(data []byte) (*AppSpec, error) { return apps.ParseSpec(data) }
+
+// LoadAppSpecFile reads, parses and validates an app spec from a JSON
+// file.
+func LoadAppSpecFile(path string) (*AppSpec, error) { return apps.LoadSpecFile(path) }
+
+// AppSpecByName resolves a registered (embedded) app spec by name,
+// case-insensitively; unknown names produce an error listing every
+// registered spec.
+func AppSpecByName(name string) (*AppSpec, error) { return apps.SpecByName(name) }
+
+// AppSpecNames returns the names of all registered app specs.
+func AppSpecNames() []string { return apps.SpecNames() }
+
+// AppStructureNames returns the names of every buildable structure an
+// app spec may reference (counters, stacks, queues, locks, deques…).
+func AppStructureNames() []string { return apps.StructureNames() }
+
+// RunAppSpec resolves a pinned app spec against a machine and executes
+// it. Ladder specs must be expanded (AppSpec.Expand) first.
+func RunAppSpec(s *AppSpec, m *Machine) (*AppResult, error) {
+	return apps.RunSpec(s, m)
+}
+
+// AppExperiment wraps app specs as a harness experiment (the "A"
+// suite): each cell runs one structure at one ladder rung and the
+// rendered table pairs the simulated throughput with the conflict
+// model's prediction and its relative error.
+func AppExperiment(specs []*AppSpec) *Experiment {
+	return harness.AppExperiment(specs)
+}
+
+// Conflict-based throughput prediction for concurrent objects
+// (internal/predict): primitive service times composed over an
+// operation's line accesses, with contended steps expanded by a retry
+// factor.
+type (
+	// PredictStep is one access of an object's operation.
+	PredictStep = predict.Step
+	// PredictQuantities are the measured (or assumed) per-structure
+	// inputs: retry factor and elimination fraction.
+	PredictQuantities = predict.Quantities
+)
+
+// MeasuredQuantities extracts the conflict model's inputs from a
+// finished app run (attempts per op, eliminations per op).
+func MeasuredQuantities(res *AppResult) PredictQuantities { return predict.Measured(res) }
+
+// BlindQuantities returns the a-priori worst-case quantities for n
+// threads (retry factor n), for predictions without a measurement.
+func BlindQuantities(n int) PredictQuantities { return predict.Blind(n) }
+
+// PredictAppThroughput predicts a pinned app spec's throughput (Mops)
+// on a machine from the given quantities.
+func PredictAppThroughput(m *Machine, s *AppSpec, q PredictQuantities) (float64, error) {
+	return predict.ForSpec(m, s, q)
+}
 
 // Experiments (the paper's tables and figures).
 type (

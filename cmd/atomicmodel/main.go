@@ -10,6 +10,18 @@
 //	atomicmodel -machine XeonE5 -primitive FAA -threads 8 -placement scatter -work 200ns
 //	atomicmodel -machines XeonE5,EPYC -primitive FAA -threads 16   # query several machines
 //	atomicmodel -machinefile spec.json -primitive CAS -threads 8   # query a custom spec
+//
+// With -apps/-appfile it answers for whole concurrent objects instead
+// of single primitives, via the conflict-based throughput model
+// (internal/predict): each step of the object's hot path is costed at
+// the primitive service times, and contended steps are multiplied by a
+// retry factor. Without -compare the retry factor is the blind
+// worst-case (one failed attempt per rival); with -compare the
+// simulator runs each point and the model re-predicts from the
+// measured retry factor, reporting both errors:
+//
+//	atomicmodel -apps treiber,ticket-lock          # blind predictions
+//	atomicmodel -appfile spec.json -compare        # prediction vs simulation
 package main
 
 import (
@@ -18,9 +30,11 @@ import (
 	"os"
 	"time"
 
+	"atomicsmodel/internal/apps"
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/core"
 	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/predict"
 	"atomicsmodel/internal/sim"
 	"atomicsmodel/internal/workload"
 )
@@ -36,6 +50,8 @@ func main() {
 		workStr   = flag.String("work", "0s", "local work between ops (Go duration, e.g. 200ns)")
 		compare   = flag.Bool("compare", false, "also run the simulator and report error")
 		lowMode   = flag.Bool("low", false, "predict the low-contention (private lines) setting")
+		apNames   = flag.String("apps", "", "comma-separated registered app spec names: predict object throughput via the conflict model instead of querying a primitive")
+		apFiles   = flag.String("appfile", "", "comma-separated JSON app spec files, alongside -apps")
 	)
 	flag.Parse()
 
@@ -53,6 +69,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *apNames != "" || *apFiles != "" {
+		specs, err := apps.SelectSpecs(*apNames, *apFiles)
+		if err != nil {
+			fatal(err)
+		}
+		for i, m := range machines {
+			if i > 0 {
+				fmt.Println()
+			}
+			queryApps(m, specs, *compare)
+		}
+		return
+	}
+
 	p, err := atomics.Parse(*primName)
 	if err != nil {
 		fatal(err)
@@ -139,6 +170,52 @@ func printPred(name string, p core.Prediction) {
 	fmt.Printf("  success rate: %8.3f\n", p.SuccessRate)
 	fmt.Printf("  Jain index:   %8.3f\n", p.Jain)
 	fmt.Printf("  energy/op:    %8.1f nJ\n\n", p.EnergyPerOpNJ)
+}
+
+// queryApps prints conflict-model throughput predictions for app specs
+// on one machine. Blind predictions charge every contended step a
+// worst-case retry factor of n (each attempt loses to every rival
+// once); -compare replaces it with the simulator's measured
+// attempts-per-op and reports both errors against the simulated rate.
+func queryApps(m *machine.Machine, specs []*apps.Spec, compare bool) {
+	fmt.Printf("machine: %s\n", m)
+	for _, s := range specs {
+		points := s.Expand()
+		fmt.Printf("\napp %s (%s):\n", s.Label(), s.Defaulted().Structure)
+		for _, pt := range points {
+			if pt.Threads > m.NumHWThreads() {
+				fmt.Printf("  %3d threads: skipped (machine has %d hardware threads)\n",
+					pt.Threads, m.NumHWThreads())
+				continue
+			}
+			if err := pt.CheckMachine(m); err != nil {
+				fmt.Printf("  %3d threads: skipped (%v)\n", pt.Threads, err)
+				continue
+			}
+			blind, err := predict.ForSpec(m, pt, predict.Blind(pt.Threads))
+			if err != nil {
+				fatal(err)
+			}
+			if !compare {
+				fmt.Printf("  %3d threads: %8.2f Mops (blind retry factor %d)\n",
+					pt.Threads, blind, pt.Threads)
+				continue
+			}
+			res, err := apps.RunSpec(pt, m)
+			if err != nil {
+				fatal(err)
+			}
+			q := predict.Measured(res)
+			measured, err := predict.ForSpec(m, pt, q)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %3d threads: sim %8.2f Mops | model %8.2f Mops (%+.1f%% @ measured retry %.2f) | blind %8.2f Mops (%+.1f%%)\n",
+				pt.Threads, res.ThroughputMops,
+				measured, 100*(measured-res.ThroughputMops)/res.ThroughputMops, q.RetryFactor,
+				blind, 100*(blind-res.ThroughputMops)/res.ThroughputMops)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -12,6 +12,8 @@
 //	atomicreport -machinefile spec.json  # add machines from spec files
 //	atomicreport -workloads high-faa     # report on registered workload specs
 //	atomicreport -workloadfile w.json    # report on a workload spec file
+//	atomicreport -apps treiber           # report on registered app specs
+//	atomicreport -appfile a.json         # report on an app spec file
 //	atomicreport -fleet -quick -o f.md   # cross-architecture bottleneck report
 package main
 
@@ -24,6 +26,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"atomicsmodel/internal/apps"
 	"atomicsmodel/internal/harness"
 	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/runlog"
@@ -44,6 +47,8 @@ func main() {
 		machFil = flag.String("machinefile", "", "comma-separated JSON machine spec files to run alongside -machines")
 		wlNames = flag.String("workloads", "", "comma-separated registered workload spec names to run as the W suite (replaces the default experiment list unless -exp is given)")
 		wlFiles = flag.String("workloadfile", "", "comma-separated JSON workload spec files to run alongside -workloads")
+		apNames = flag.String("apps", "", "comma-separated registered app spec names to run as the A suite (replaces the default experiment list unless -exp is given)")
+		apFiles = flag.String("appfile", "", "comma-separated JSON app spec files to run alongside -apps")
 		fleet   = flag.Bool("fleet", false, "fleet sweep: run the selected workloads across every registered machine with per-cell bottleneck verdicts (see BOTTLENECKS.md)")
 		knee    = flag.Float64("knee", 0.9, "utilization threshold for fleet knee detection")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -110,10 +115,18 @@ func main() {
 		}
 		wlSpecs = ws
 	}
+	var appSpecs []*apps.Spec
+	if *apNames != "" || *apFiles != "" {
+		as, err := apps.SelectSpecs(*apNames, *apFiles)
+		if err != nil {
+			fatal(err)
+		}
+		appSpecs = as
+	}
 
-	// -exp selects registered experiments; a workload selection appends
-	// the W suite. With only workloads given, just the suite runs; with
-	// neither, every registered experiment runs.
+	// -exp selects registered experiments; a workload or app selection
+	// appends its suite. With only workloads/apps given, just those
+	// suites run; with neither, every registered experiment runs.
 	var exps []*harness.Experiment
 	if *expIDs != "" {
 		for _, id := range strings.Split(*expIDs, ",") {
@@ -123,7 +136,7 @@ func main() {
 			}
 			exps = append(exps, e)
 		}
-	} else if wlSpecs == nil && !*fleet {
+	} else if wlSpecs == nil && appSpecs == nil && !*fleet {
 		exps = harness.All()
 	}
 	if *fleet {
@@ -140,6 +153,9 @@ func main() {
 		exps = append(exps, harness.FleetExperiment(specs, *knee))
 	} else if wlSpecs != nil {
 		exps = append(exps, harness.WorkloadExperiment(wlSpecs))
+	}
+	if appSpecs != nil {
+		exps = append(exps, harness.AppExperiment(appSpecs))
 	}
 
 	w := os.Stdout

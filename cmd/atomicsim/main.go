@@ -9,6 +9,8 @@
 //	atomicsim -machinefile m.json # add a machine from a JSON spec file
 //	atomicsim -workloads high-faa # run registered workload specs (the W suite)
 //	atomicsim -workloadfile w.json# run a workload from a JSON spec file
+//	atomicsim -apps treiber       # run registered app specs (the A suite)
+//	atomicsim -appfile a.json     # run an app from a JSON spec file
 //	atomicsim -fleet              # fleet sweep: bottleneck verdicts across all machines
 //	atomicsim -fleet -knee 0.8    # lower the knee-detection utilization threshold
 //	atomicsim -quick              # trimmed sweeps for a fast look
@@ -35,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"atomicsmodel/internal/apps"
 	"atomicsmodel/internal/faults"
 	"atomicsmodel/internal/harness"
 	"atomicsmodel/internal/machine"
@@ -50,6 +53,8 @@ func main() {
 		machFil = flag.String("machinefile", "", "comma-separated JSON machine spec files to run alongside -machines")
 		wlNames = flag.String("workloads", "", "comma-separated registered workload spec names to run as the W suite (replaces the default experiment list unless -exp is given)")
 		wlFiles = flag.String("workloadfile", "", "comma-separated JSON workload spec files to run alongside -workloads")
+		apNames = flag.String("apps", "", "comma-separated registered app spec names to run as the A suite (replaces the default experiment list unless -exp is given)")
+		apFiles = flag.String("appfile", "", "comma-separated JSON app spec files to run alongside -apps")
 		fleet   = flag.Bool("fleet", false, "fleet sweep: run the selected workloads across every registered machine with per-cell bottleneck verdicts (see BOTTLENECKS.md)")
 		knee    = flag.Float64("knee", 0.9, "utilization threshold for fleet knee detection")
 		quick   = flag.Bool("quick", false, "trimmed sweeps and shorter simulated durations")
@@ -152,9 +157,18 @@ func main() {
 		wlSpecs = ws
 	}
 
-	// -exp selects registered experiments; a workload selection appends
-	// the W suite. With only workloads given, just the suite runs; with
-	// neither, every registered experiment runs.
+	var appSpecs []*apps.Spec
+	if *apNames != "" || *apFiles != "" {
+		as, err := apps.SelectSpecs(*apNames, *apFiles)
+		if err != nil {
+			fatal(err)
+		}
+		appSpecs = as
+	}
+
+	// -exp selects registered experiments; a workload or app selection
+	// appends its suite. With only workloads/apps given, just those
+	// suites run; with neither, every registered experiment runs.
 	var exps []*harness.Experiment
 	if *expID != "" {
 		for _, id := range strings.Split(*expID, ",") {
@@ -164,7 +178,7 @@ func main() {
 			}
 			exps = append(exps, e)
 		}
-	} else if wlSpecs == nil && !*fleet {
+	} else if wlSpecs == nil && appSpecs == nil && !*fleet {
 		exps = harness.All()
 	}
 	if *fleet {
@@ -181,6 +195,9 @@ func main() {
 		exps = append(exps, harness.FleetExperiment(specs, *knee))
 	} else if wlSpecs != nil {
 		exps = append(exps, harness.WorkloadExperiment(wlSpecs))
+	}
+	if appSpecs != nil {
+		exps = append(exps, harness.AppExperiment(appSpecs))
 	}
 
 	suiteStart := time.Now()

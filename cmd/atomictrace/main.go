@@ -16,6 +16,15 @@
 //	atomictrace -threads 8 -chrome trace.json          # timeline for Perfetto
 //	atomictrace -machines XeonE5,KNL -threads 8        # several machines, one CSV
 //	atomictrace -machinefile spec.json -threads 8      # trace a custom spec
+//	atomictrace -apps treiber -ops 200                 # trace an app's hot line
+//	atomictrace -appfile spec.json -chrome t.json      # app spec file, timeline
+//
+// With -apps/-appfile the trace watches the selected app spec's hot
+// line (the structure's primary serialization point — a stack's top
+// pointer, a lock word) while the whole structure runs: each thread
+// performs -ops operations of the structure, and the CSV shows how the
+// object's algorithm, not a bare primitive, moves the line. A spec
+// with a thread ladder traces its first rung; -threads overrides.
 //
 // With more than one machine selected, each machine's CSV section is
 // preceded by a "# machine <name>" comment line, and -chrome writes one
@@ -28,6 +37,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"atomicsmodel/internal/apps"
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/coherence"
 	"atomicsmodel/internal/machine"
@@ -45,6 +55,8 @@ func main() {
 		ops       = flag.Int("ops", 200, "operations per thread to trace")
 		arbName   = flag.String("arbiter", "fifo", "line arbitration: fifo, random, locality")
 		chrome    = flag.String("chrome", "", "also write a Chrome trace_event JSON timeline to this file (view in chrome://tracing or Perfetto)")
+		apNames   = flag.String("apps", "", "registered app spec name: trace the structure's hot line instead of a bare primitive")
+		apFiles   = flag.String("appfile", "", "JSON app spec file, alternative to -apps")
 	)
 	flag.Parse()
 
@@ -62,6 +74,39 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *apNames != "" || *apFiles != "" {
+		specs, err := apps.SelectSpecs(*apNames, *apFiles)
+		if err != nil {
+			fatal(err)
+		}
+		if len(specs) != 1 {
+			fatal(fmt.Errorf("tracing wants exactly one app spec, got %d", len(specs)))
+		}
+		// A ladder spec traces its first rung; an explicit -threads
+		// overrides the rung (the trace is exploratory, not cached, so
+		// the digest change is harmless).
+		pt := specs[0].Expand()[0]
+		threadsSet := false
+		flag.Visit(func(f *flag.Flag) { threadsSet = threadsSet || f.Name == "threads" })
+		if threadsSet {
+			pt = pt.Clone()
+			pt.Threads = *threads
+		}
+		for _, m := range machines {
+			chromeFile := *chrome
+			if chromeFile != "" && len(machines) > 1 {
+				ext := filepath.Ext(chromeFile)
+				chromeFile = chromeFile[:len(chromeFile)-len(ext)] + "." + m.Name + ext
+			}
+			if len(machines) > 1 {
+				fmt.Printf("# machine %s\n", m.Name)
+			}
+			traceApp(m, pt, *ops, chromeFile)
+		}
+		return
+	}
+
 	p, err := atomics.Parse(*primName)
 	if err != nil {
 		fatal(err)
@@ -77,6 +122,52 @@ func main() {
 		}
 		traceMachine(m, p, *threads, *ops, *arbName, chromeFile)
 	}
+}
+
+// traceApp runs an app spec's structure with the recorder on its hot
+// line: the spec's own placement, arbiter and seed apply (the -arbiter
+// flag is the primitive path's knob), and each thread performs ops
+// operations of the structure.
+func traceApp(m *machine.Machine, sp *apps.Spec, ops int, chrome string) {
+	cfg, err := sp.RunConfig(m)
+	if err != nil {
+		fatal(err)
+	}
+	hot, err := sp.HotLine()
+	if err != nil {
+		fatal(err)
+	}
+	slots, err := cfg.Placement.Place(m, cfg.Threads)
+	if err != nil {
+		fatal(err)
+	}
+	eng := sim.NewEngine()
+	mem, err := atomics.NewMemory(eng, m, cfg.Arbiter)
+	if err != nil {
+		fatal(err)
+	}
+	app := cfg.Build(eng, mem)
+	// Flush structure seeding (pre-pushed elements, initial words)
+	// before arming the tracer: the trace starts at a settled object.
+	eng.Drain()
+	rec := trace.NewRecorder(hot, 0)
+	mem.System().SetTracer(rec.Observe)
+
+	root := sim.NewRNG(cfg.Seed)
+	for i := 0; i < cfg.Threads; i++ {
+		th := &apps.Thread{ID: i, Core: m.CoreOf(slots[i]), RNG: root.Split()}
+		var step func(remaining int)
+		step = func(remaining int) {
+			if remaining == 0 {
+				return
+			}
+			app.Step(th, func() { step(remaining - 1) })
+		}
+		left := ops
+		eng.Schedule(th.RNG.Duration(10*sim.Nanosecond), func() { step(left) })
+	}
+	eng.Drain()
+	dumpTrace(rec, chrome)
 }
 
 // traceMachine runs one contended trace on m and writes its CSV,
@@ -123,7 +214,12 @@ func traceMachine(m *machine.Machine, p atomics.Primitive, threads, ops int, arb
 		eng.Schedule(rng.Duration(10*sim.Nanosecond), func() { issue(left) })
 	}
 	eng.Drain()
+	dumpTrace(rec, chrome)
+}
 
+// dumpTrace writes the recorder's CSV to stdout, the optional Chrome
+// timeline, and the bouncing summary to stderr.
+func dumpTrace(rec *trace.Recorder, chrome string) {
 	if err := rec.WriteCSV(os.Stdout); err != nil {
 		fatal(err)
 	}

@@ -92,6 +92,46 @@ func TestFacadeWorkloadSpecs(t *testing.T) {
 	}
 }
 
+func TestFacadeAppSpecs(t *testing.T) {
+	names := atomicsmodel.AppSpecNames()
+	if len(names) == 0 {
+		t.Fatal("no registered app specs")
+	}
+	if _, err := atomicsmodel.AppSpecByName("TREIBER"); err != nil {
+		t.Fatalf("case-insensitive lookup: %v", err)
+	}
+	if _, err := atomicsmodel.AppSpecByName("bogus"); err == nil {
+		t.Fatal("bogus app spec accepted")
+	}
+	if len(atomicsmodel.AppStructureNames()) == 0 {
+		t.Fatal("no registered structures")
+	}
+	sp, err := atomicsmodel.ParseAppSpec([]byte(
+		`{"structure":"counter-faa","threads":2,"warmupPS":1000000,"durationPS":5000000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := atomicsmodel.RunAppSpec(sp, atomicsmodel.XeonE5())
+	if err != nil || res.Ops == 0 {
+		t.Fatalf("RunAppSpec: %+v %v", res, err)
+	}
+	mops, err := atomicsmodel.PredictAppThroughput(
+		atomicsmodel.XeonE5(), sp, atomicsmodel.MeasuredQuantities(res))
+	if err != nil || mops <= 0 {
+		t.Fatalf("PredictAppThroughput: %v %v", mops, err)
+	}
+	if q := atomicsmodel.BlindQuantities(8); q.RetryFactor != 8 {
+		t.Fatalf("BlindQuantities(8).RetryFactor = %v", q.RetryFactor)
+	}
+	e := atomicsmodel.AppExperiment([]*atomicsmodel.AppSpec{sp})
+	tables, err := e.Run(atomicsmodel.ExperimentOptions{
+		Quick: true, Machines: []*atomicsmodel.Machine{atomicsmodel.XeonE5()},
+	})
+	if err != nil || len(tables) == 0 {
+		t.Fatalf("AppExperiment via facade: %v %v", tables, err)
+	}
+}
+
 func TestFacadeNative(t *testing.T) {
 	res, err := atomicsmodel.RunNative(atomicsmodel.NativeConfig{
 		Threads: 2, Primitive: atomicsmodel.FAA, Duration: 10_000_000, // 10ms

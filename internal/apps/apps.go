@@ -52,6 +52,16 @@ type App interface {
 	Step(th *Thread, done func())
 }
 
+// RetryStats is implemented by structures that count executions of
+// their retry-loop body — the gating RMW issues (every CAS/TAS
+// attempt, every ticket spin read), successful or not, over the whole
+// run. Attempts divided by completed operations is the measured retry
+// factor the conflict-based throughput model consumes
+// (internal/predict); the runner surfaces it in RunResult.Attempts.
+type RetryStats interface {
+	Attempts() uint64
+}
+
 // FAACounter increments a shared counter with one fetch-and-add.
 type FAACounter struct {
 	mem *atomics.Memory
@@ -73,7 +83,8 @@ func (c *FAACounter) Value() uint64 { return c.mem.System().Value(counterLine) }
 // loop (read value, CAS value -> value+1, retry on failure). This is
 // the design the model tells you to avoid under contention.
 type CASCounter struct {
-	mem *atomics.Memory
+	mem      *atomics.Memory
+	attempts uint64
 }
 
 // NewCASCounter returns the CAS-loop counter.
@@ -81,8 +92,12 @@ func NewCASCounter(mem *atomics.Memory) *CASCounter { return &CASCounter{mem: me
 
 func (c *CASCounter) Name() string { return "counter-cas" }
 
+// Attempts counts CAS issues, successful or not (RetryStats).
+func (c *CASCounter) Attempts() uint64 { return c.attempts }
+
 func (c *CASCounter) Step(th *Thread, done func()) {
 	expected := th.lastSeen
+	c.attempts++
 	c.mem.CompareAndSwap(th.Core, counterLine, expected, expected+1, func(r atomics.Result) {
 		if r.OK {
 			th.lastSeen = expected + 1
@@ -101,11 +116,12 @@ func (c *CASCounter) Value() uint64 { return c.mem.System().Value(counterLine) }
 // pointer, with each node on its own cache line. Each Step performs a
 // push or a pop (50/50), so the stack stays near its initial depth.
 type TreiberStack struct {
-	mem     *atomics.Memory
-	nextID  uint64
-	pushes  uint64
-	pops    uint64
-	empties uint64
+	mem      *atomics.Memory
+	nextID   uint64
+	pushes   uint64
+	pops     uint64
+	empties  uint64
+	attempts uint64
 }
 
 // NewTreiberStack returns a stack pre-seeded with depth nodes so pops
@@ -129,6 +145,9 @@ func (s *TreiberStack) Name() string { return "treiber-stack" }
 func (s *TreiberStack) Stats() (pushes, pops, empties uint64) {
 	return s.pushes, s.pops, s.empties
 }
+
+// Attempts counts CAS issues on the top pointer (RetryStats).
+func (s *TreiberStack) Attempts() uint64 { return s.attempts }
 
 func (s *TreiberStack) nodeLine(id uint64) coherence.LineID {
 	return nodeBase + coherence.LineID(id)
@@ -157,6 +176,7 @@ func (s *TreiberStack) push(th *Thread, done func()) {
 		// Write node.next = oldTop (the node line is private until the
 		// CAS publishes it).
 		s.mem.StoreOp(th.Core, s.nodeLine(id), oldTop, func(atomics.Result) {
+			s.attempts++
 			s.mem.CompareAndSwap(th.Core, topLine, oldTop, id, func(r atomics.Result) {
 				if r.OK {
 					s.pushes++
@@ -184,6 +204,7 @@ func (s *TreiberStack) pop(th *Thread, done func()) {
 		// that makes stacks expensive under contention.
 		s.mem.LoadOp(th.Core, s.nodeLine(top), func(rn atomics.Result) {
 			next := rn.Old
+			s.attempts++
 			s.mem.CompareAndSwap(th.Core, topLine, top, next, func(rc atomics.Result) {
 				if rc.OK {
 					th.lastSeen = next
@@ -202,15 +223,21 @@ func (s *TreiberStack) pop(th *Thread, done func()) {
 // acquire-release cycle with a critical-section update of a shared data
 // line is one Step.
 type lockApp struct {
-	name    string
-	mem     *atomics.Memory
-	crit    sim.Time
-	eng     *sim.Engine
-	acquire func(th *Thread, locked func())
-	release func(th *Thread, released func())
+	name     string
+	mem      *atomics.Memory
+	crit     sim.Time
+	eng      *sim.Engine
+	attempts uint64
+	acquire  func(th *Thread, locked func())
+	release  func(th *Thread, released func())
 }
 
 func (l *lockApp) Name() string { return l.name }
+
+// Attempts counts acquisition-loop iterations: TAS issues for the
+// test-and-set family, serving-counter refetches (reads observing a
+// new value, i.e. line transfers) for the ticket lock (RetryStats).
+func (l *lockApp) Attempts() uint64 { return l.attempts }
 
 func (l *lockApp) Step(th *Thread, done func()) {
 	l.acquire(th, func() {
@@ -233,6 +260,7 @@ func NewTASLock(eng *sim.Engine, mem *atomics.Memory, crit sim.Time) App {
 	l.acquire = func(th *Thread, locked func()) {
 		var spin func()
 		spin = func() {
+			l.attempts++
 			mem.TestAndSet(th.Core, lockLine, func(r atomics.Result) {
 				if r.Old == 0 {
 					locked()
@@ -262,6 +290,7 @@ func NewTTASLock(eng *sim.Engine, mem *atomics.Memory, crit sim.Time) App {
 					test() // spin on the shared copy
 					return
 				}
+				l.attempts++
 				mem.TestAndSet(th.Core, lockLine, func(r2 atomics.Result) {
 					if r2.Old == 0 {
 						locked()
@@ -296,6 +325,7 @@ func NewTTASBackoffLock(eng *sim.Engine, mem *atomics.Memory, crit, base, max si
 					test()
 					return
 				}
+				l.attempts++
 				mem.TestAndSet(th.Core, lockLine, func(r2 atomics.Result) {
 					if r2.Old == 0 {
 						locked()
@@ -326,9 +356,20 @@ func NewTicketLock(eng *sim.Engine, mem *atomics.Memory, crit sim.Time) App {
 	l.acquire = func(th *Thread, locked func()) {
 		mem.FetchAndAdd(th.Core, ticketLine, 1, func(r atomics.Result) {
 			ticket := r.Old
+			// Count serving-line refetches, not raw spin reads: between
+			// handoffs a waiter re-reads its local Shared copy (no line
+			// traffic), so only reads that observe a new serving value —
+			// a refetch after the holder's invalidating bump — are
+			// attempts in the conflict model's sense.
+			seen := false
+			var last uint64
 			var wait func()
 			wait = func() {
 				mem.LoadOp(th.Core, servingLine, func(rs atomics.Result) {
+					if !seen || rs.Old != last {
+						seen, last = true, rs.Old
+						l.attempts++
+					}
 					if rs.Old == ticket {
 						th.lastSeen = ticket
 						locked()

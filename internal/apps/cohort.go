@@ -30,6 +30,8 @@ type CohortLock struct {
 	cycles uint64
 	// handoffs counts same-socket passes of the global lock.
 	handoffs uint64
+	// attempts counts local TAS and global CAS issues (RetryStats).
+	attempts uint64
 	// globalHeldBy tracks which socket holds the global lock and how
 	// many local handoffs it has consumed (bookkeeping mirrors the
 	// simulated lock words; it never substitutes for them).
@@ -49,6 +51,9 @@ func (l *CohortLock) Name() string { return "lock-cohort" }
 // Handoffs reports same-socket global-lock passes (the cross-socket
 // traffic avoided).
 func (l *CohortLock) Handoffs() uint64 { return l.handoffs }
+
+// Attempts counts local TAS and global CAS issues (RetryStats).
+func (l *CohortLock) Attempts() uint64 { return l.attempts }
 
 func (l *CohortLock) localLine(socket int) coherence.LineID {
 	return cohortLocalBase + coherence.LineID(socket)*512
@@ -79,6 +84,7 @@ func (l *CohortLock) Step(th *Thread, done func()) {
 func (l *CohortLock) acquireLocal(th *Thread, socket int, locked func(globalHeld bool)) {
 	var spinLocal func()
 	spinLocal = func() {
+		l.attempts++
 		l.mem.TestAndSet(th.Core, l.localLine(socket), func(r atomics.Result) {
 			if r.Old != 0 {
 				spinLocal()
@@ -98,6 +104,7 @@ func (l *CohortLock) acquireLocal(th *Thread, socket int, locked func(globalHeld
 }
 
 func (l *CohortLock) acquireGlobal(th *Thread, socket int, locked func(bool)) {
+	l.attempts++
 	l.mem.CompareAndSwap(th.Core, cohortGlobalLine, 0, uint64(socket+1), func(r atomics.Result) {
 		if !r.OK {
 			l.acquireGlobal(th, socket, locked)

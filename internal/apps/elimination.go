@@ -74,6 +74,7 @@ func (s *EliminationStack) pushElim(th *Thread, done func()) {
 	var attempt func(oldTop uint64)
 	attempt = func(oldTop uint64) {
 		s.mem.StoreOp(th.Core, s.nodeLine(id), oldTop, func(atomics.Result) {
+			s.attempts++
 			s.mem.CompareAndSwap(th.Core, topLine, oldTop, id, func(r atomics.Result) {
 				if r.OK {
 					s.pushes++
@@ -128,6 +129,7 @@ func (s *EliminationStack) popElim(th *Thread, done func()) {
 		}
 		s.mem.LoadOp(th.Core, s.nodeLine(top), func(rn atomics.Result) {
 			next := rn.Old
+			s.attempts++
 			s.mem.CompareAndSwap(th.Core, topLine, top, next, func(rc atomics.Result) {
 				if rc.OK {
 					th.lastSeen = next

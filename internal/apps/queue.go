@@ -24,6 +24,7 @@ type MSQueue struct {
 	enqueues uint64
 	dequeues uint64
 	empties  uint64
+	attempts uint64
 }
 
 // NewMSQueue returns a queue pre-seeded with depth elements (plus the
@@ -50,6 +51,11 @@ func (q *MSQueue) Name() string { return "ms-queue" }
 func (q *MSQueue) Stats() (enqueues, dequeues, empties uint64) {
 	return q.enqueues, q.dequeues, q.empties
 }
+
+// Attempts counts the publishing CAS issues — next-pointer links on
+// enqueue, head swings on dequeue (RetryStats). Help-swing CASes are
+// not counted; they are not the gating step.
+func (q *MSQueue) Attempts() uint64 { return q.attempts }
 
 func (q *MSQueue) alloc() uint64 {
 	id := q.nextID
@@ -90,6 +96,7 @@ func (q *MSQueue) enqueueLoop(th *Thread, id uint64, done func()) {
 				})
 				return
 			}
+			q.attempts++
 			q.mem.CompareAndSwap(th.Core, q.node(tail), 0, id, func(rc atomics.Result) {
 				if !rc.OK {
 					q.enqueueLoop(th, id, done)
@@ -126,6 +133,7 @@ func (q *MSQueue) dequeue(th *Thread, done func()) {
 					})
 					return
 				}
+				q.attempts++
 				q.mem.CompareAndSwap(th.Core, headLine, head, next, func(rc atomics.Result) {
 					if !rc.OK {
 						q.dequeue(th, done)

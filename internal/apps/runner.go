@@ -55,6 +55,17 @@ type RunResult struct {
 	// TotalOps counts operations completed over the whole run
 	// including warmup, for invariant checks against app state.
 	TotalOps uint64
+	// Attempts counts the structure's retry-loop body executions (the
+	// gating RMW issues, successful or not) over the whole run, when the
+	// app reports them (RetryStats); zero otherwise. Attempts/TotalOps
+	// is the measured retry factor internal/predict consumes.
+	Attempts uint64 `json:"attempts,omitempty"`
+	// Eliminations counts operations completed via a collision array
+	// (elimination stacks); zero for other structures.
+	Eliminations uint64 `json:"eliminations,omitempty"`
+	// Violations counts observed mutual-exclusion breaches (RW locks;
+	// must be 0); zero for other structures.
+	Violations int `json:"violations,omitempty"`
 	// Metrics is the per-cell metrics snapshot over the measured window
 	// (nil unless RunConfig.Metrics was set).
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
@@ -167,6 +178,18 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		MinMax:         stats.MinMaxRatio(perOps),
 		Mem:            mem,
 		TotalOps:       totalOps,
+	}
+	// Structure-specific counters ride along when the app exposes them,
+	// so table assembly and the conflict model can consume them from the
+	// cached cell JSON alone.
+	if rs, ok := app.(RetryStats); ok {
+		res.Attempts = rs.Attempts()
+	}
+	if es, ok := app.(interface{ Eliminations() uint64 }); ok {
+		res.Eliminations = es.Eliminations()
+	}
+	if vs, ok := app.(interface{ Violations() int }); ok {
+		res.Violations = vs.Violations()
 	}
 	if reg != nil {
 		reg.Counter(metrics.SimEvents).Add(eng.Processed() - procAtMeasure)

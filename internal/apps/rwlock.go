@@ -28,7 +28,12 @@ type rwCommon struct {
 	activeWriters int
 	violations    int
 	reads, writes uint64
+	attempts      uint64
 }
+
+// Attempts counts acquisition attempts — the gating CAS/TAS issues and
+// reader announce rounds, successful or not (RetryStats).
+func (c *rwCommon) Attempts() uint64 { return c.attempts }
 
 func (c *rwCommon) enterRead() {
 	if c.activeWriters > 0 {
@@ -124,6 +129,7 @@ func (l *CentralRWLock) readAcquire(th *Thread, done func()) {
 			l.readAcquire(th, done) // writer active: spin on shared copy
 			return
 		}
+		l.attempts++
 		l.mem.CompareAndSwap(th.Core, rwLockLine, v, v+2, func(rc atomics.Result) {
 			if !rc.OK {
 				l.readAcquire(th, done)
@@ -143,6 +149,7 @@ func (l *CentralRWLock) writeAcquire(th *Thread, done func()) {
 			l.writeAcquire(th, done) // busy: spin
 			return
 		}
+		l.attempts++
 		l.mem.CompareAndSwap(th.Core, rwLockLine, 0, 1, func(rc atomics.Result) {
 			if !rc.OK {
 				l.writeAcquire(th, done)
@@ -192,6 +199,7 @@ func (l *DistributedRWLock) readAcquire(th *Thread, done func()) {
 			return
 		}
 		// Announce, then re-check the flag (Dekker-style handshake).
+		l.attempts++
 		l.mem.StoreOp(th.Core, l.slot(th.ID), 1, func(atomics.Result) {
 			l.mem.LoadOp(th.Core, rwFlagLine, func(r2 atomics.Result) {
 				if r2.Old != 0 {
@@ -210,6 +218,7 @@ func (l *DistributedRWLock) readAcquire(th *Thread, done func()) {
 }
 
 func (l *DistributedRWLock) writeAcquire(th *Thread, done func()) {
+	l.attempts++
 	l.mem.TestAndSet(th.Core, rwFlagLine, func(r atomics.Result) {
 		if r.Old != 0 {
 			l.writeAcquire(th, done) // another writer holds the flag

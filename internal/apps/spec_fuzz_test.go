@@ -1,0 +1,71 @@
+package apps
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAppSpecLoad is a native Go fuzz target over the app spec loading
+// path — the CLIs' -appfile input. For arbitrary bytes it demands: no
+// panic anywhere in parse/validate; any spec ParseSpec accepts digests
+// deterministically; its canonical encoding is a fixed point (parse →
+// encode → parse → encode is byte-stable), which is what makes the
+// digest a usable cache identity; and every expanded ladder point is
+// itself a valid, digestable spec. Run with
+// `go test -fuzz FuzzAppSpecLoad ./internal/apps`.
+func FuzzAppSpecLoad(f *testing.F) {
+	for _, name := range SpecNames() {
+		s, err := SpecByName(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		raw, err := s.Canonical()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"structure":"counter-faa","threads":4}`))
+	f.Add([]byte(`{"structure":"elimination-stack","threadLadder":[1,2,4],"slots":16,"windowPS":400000}`))
+	f.Add([]byte(`{"structure":"lock-ttas-backoff","threads":8,"critPS":50000,"backoffBasePS":100000,"backoffMaxPS":3200000}`))
+	f.Add([]byte(`{"structure":"rwlock-distributed","threads":16,"readFraction":0.9,"slots":8,"seed":7}`))
+	f.Add([]byte(`{"structure":"ws-deque","threads":-1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return // malformed or invalid input must error, not panic
+		}
+		d1, err := s.Digest()
+		if err != nil {
+			t.Fatalf("accepted spec does not digest: %v", err)
+		}
+		d2, err := s.Digest()
+		if err != nil || d1 != d2 || d1 == "" {
+			t.Fatalf("digest not deterministic: %q vs %q (%v)", d1, d2, err)
+		}
+		raw1, err := s.Canonical()
+		if err != nil {
+			t.Fatalf("canonical encoding of an accepted spec failed: %v", err)
+		}
+		s2, err := ParseSpec(raw1)
+		if err != nil {
+			t.Fatalf("canonical encoding does not reparse: %v\n%s", err, raw1)
+		}
+		raw2, err := s2.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw1, raw2) {
+			t.Fatalf("canonical encoding not a fixed point:\n%s\nvs\n%s", raw1, raw2)
+		}
+		for _, pt := range s.Expand() {
+			if err := pt.Validate(); err != nil {
+				t.Fatalf("expanded point of an accepted spec invalid: %v", err)
+			}
+			if _, err := pt.Digest(); err != nil {
+				t.Fatalf("expanded point does not digest: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"fmt"
+
+	"atomicsmodel/internal/apps"
+	"atomicsmodel/internal/machine"
+	"atomicsmodel/internal/predict"
+)
+
+// This file is the apps counterpart of workload_cells.go: every
+// apps.RunConfig-based experiment runner describes its cells as
+// apps.Specs and keys them by content digest — machineKey + "/app@" +
+// spec.Digest() — so two cells that differ in any effective knob
+// (structure, depth, read fraction, critical-section length, seed,
+// window) can never alias a cache entry, and two spellings of the same
+// cell always share one. The runner-local fmt.Sprintf key fragments
+// (which omitted exactly those knobs) are gone.
+
+// appCell pairs a machine with a pinned app spec and carries the
+// cell's precomputed cache key (FanoutKeyed's key func cannot return
+// an error, so the digest is computed while building the list).
+type appCell struct {
+	m    *machine.Machine
+	spec *apps.Spec
+	key  string
+}
+
+// newAppCell validates and keys one cell. The spec must be pinned
+// (single thread count) and carry its full effective configuration —
+// including seed and measurement window — since the digest is the
+// cell's cache identity.
+func newAppCell(m *machine.Machine, s apps.Spec) (appCell, error) {
+	d, err := s.Digest()
+	if err != nil {
+		return appCell{}, err
+	}
+	return appCell{m: m, spec: &s, key: m.Key() + "/app@" + d}, nil
+}
+
+// runAppCells fans the cells out through the keyed scheduler; results
+// come back in cell order regardless of Par.
+func runAppCells(o Options, cells []appCell) ([]*apps.RunResult, error) {
+	return FanoutKeyed(o, cells, func(c appCell) string {
+		return c.key
+	}, func(ci int, c appCell) (*apps.RunResult, error) {
+		return runAppSpecCell(o, ci, c.m, *c.spec)
+	})
+}
+
+// runAppSpecCell resolves one pinned spec against a machine and runs
+// it, forwarding the option set's observability, checking and fault
+// knobs (which join the cache key at the cellKey layer, not the
+// digest).
+func runAppSpecCell(o Options, ci int, m *machine.Machine, sp apps.Spec) (*apps.RunResult, error) {
+	cfg, err := sp.RunConfig(m)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Metrics = o.MetricsOn()
+	cfg.Check = o.CheckOn()
+	cfg.Faults = o.CellFaults(ci)
+	return apps.Run(cfg)
+}
+
+// baseAppSpec returns an app spec pinned to this option set's
+// measurement window; runners fill in the structure, the swept knobs
+// and the per-cell seed.
+func (o Options) baseAppSpec() apps.Spec {
+	return apps.Spec{WarmupPS: o.warmup(), DurationPS: o.duration()}
+}
+
+// AppExperiment wraps user-selected app specs as a runnable
+// pseudo-experiment with ID "A" (the CLIs' -apps/-appfile path). It is
+// deliberately not in the registry: its cells depend on the user's
+// spec selection, not only on Options.
+func AppExperiment(specs []*apps.Spec) *Experiment {
+	return &Experiment{
+		ID:    "A",
+		Title: "Declarative app specs",
+		Claim: "user-defined concurrent-object cells run digest-keyed, and the conflict model predicts each cell's throughput from its measured retry factor",
+		Run: func(o Options) ([]*Table, error) {
+			return runAppSuite(o, specs)
+		},
+	}
+}
+
+// runAppSuite runs every spec (thread ladders expanded, points beyond
+// a machine's hardware threads skipped, machine-incompatible
+// structures skipped with a note) on every selected machine, one table
+// per machine × spec. Each row carries the conflict model's predicted
+// throughput — the recipe evaluated with the cell's measured retry
+// factor and elimination fraction — next to the simulated value, with
+// the relative error.
+func runAppSuite(o Options, specs []*apps.Spec) ([]*Table, error) {
+	machines := o.machines()
+	type group struct {
+		m            *machine.Machine
+		spec         *apps.Spec
+		points       []*apps.Spec
+		incompatible error
+	}
+	var groups []group
+	var cells []appCell
+	for _, m := range machines {
+		for _, s := range specs {
+			if err := s.Validate(); err != nil {
+				return nil, err
+			}
+			g := group{m: m, spec: s}
+			if err := s.CheckMachine(m); err != nil {
+				g.incompatible = err
+				groups = append(groups, g)
+				continue
+			}
+			for _, pt := range s.Expand() {
+				if pt.Threads > m.NumHWThreads() {
+					continue
+				}
+				cell := *pt
+				if cell.WarmupPS == 0 {
+					cell.WarmupPS = o.warmup()
+				}
+				if cell.DurationPS == 0 {
+					cell.DurationPS = o.duration()
+				}
+				if cell.Seed == 0 {
+					cell.Seed = o.Seed + uint64(cell.Threads)
+				}
+				c, err := newAppCell(m, cell)
+				if err != nil {
+					return nil, err
+				}
+				g.points = append(g.points, c.spec)
+				cells = append(cells, c)
+			}
+			groups = append(groups, g)
+		}
+	}
+	results, err := runAppCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*Table
+	k := 0
+	for _, g := range groups {
+		t := NewTable(fmt.Sprintf("A (%s): %s", g.m.Name, g.spec.Label()),
+			"threads", "sim Mops", "model Mops", "rel err", "attempts/op", "Jain")
+		if g.incompatible != nil {
+			t.AddNote("skipped: %v", g.incompatible)
+			tables = append(tables, t)
+			continue
+		}
+		for _, pt := range g.points {
+			res := results[k]
+			k++
+			q := predict.Measured(res)
+			mops, perr := predict.ForSpec(g.m, pt, q)
+			if perr != nil {
+				return nil, perr
+			}
+			relErr := 0.0
+			if res.ThroughputMops > 0 {
+				relErr = (mops - res.ThroughputMops) / res.ThroughputMops * 100
+			}
+			t.AddRow(itoa(pt.Threads), f2(res.ThroughputMops), f2(mops),
+				pct(relErr), f2(q.RetryFactor), f3(res.Jain))
+		}
+		if len(g.points) == 0 {
+			t.AddNote("no point of this spec fits %s's %d hardware threads", g.m.Name, g.m.NumHWThreads())
+		} else if d, derr := g.spec.Digest(); derr == nil {
+			t.AddNote("spec digest %s", d)
+		}
+		t.AddNote("model Mops: conflict model from the cell's measured retry factor (attempts/op)")
+		if g.spec.Doc != "" {
+			t.AddNote("%s", g.spec.Doc)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,9 +1,6 @@
 package harness
 
 import (
-	"fmt"
-
-	"atomicsmodel/internal/apps"
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/coherence"
 	"atomicsmodel/internal/core"
@@ -272,29 +269,25 @@ func runF15(o Options) ([]*Table, error) {
 			eligible = append(eligible, m)
 		}
 	}
-	type spec struct {
-		m       *machine.Machine
-		stripes int
-		reads   float64
-	}
-	var specs []spec
+	var cells []appCell
 	for _, m := range eligible {
 		for _, sc := range stripeCounts {
-			specs = append(specs, spec{m, sc, 0}, spec{m, sc, 0.05})
+			for _, reads := range []float64{0, 0.05} {
+				sp := o.baseAppSpec()
+				sp.Structure = "counter-striped"
+				sp.Threads = threads
+				sp.Stripes = sc
+				sp.ReadFraction = reads
+				sp.Seed = o.Seed
+				c, err := newAppCell(m, sp)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, c)
+			}
 		}
 	}
-	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/stripes=%d/reads=%v", s.m.Key(), s.stripes, s.reads)
-	}, func(ci int, s spec) (*apps.RunResult, error) {
-		return apps.Run(apps.RunConfig{
-			Machine: s.m, Threads: threads,
-			Build: func(e *sim.Engine, mem *atomics.Memory) apps.App {
-				return apps.NewStripedCounter(mem, s.stripes, s.reads)
-			},
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-		})
-	})
+	results, err := runAppCells(o, cells)
 	if err != nil {
 		return nil, err
 	}

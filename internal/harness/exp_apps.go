@@ -1,9 +1,6 @@
 package harness
 
 import (
-	"fmt"
-
-	"atomicsmodel/internal/apps"
 	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/core"
 	"atomicsmodel/internal/machine"
@@ -28,34 +25,23 @@ func init() {
 func runF9(o Options) ([]*Table, error) {
 	machines := o.machines()
 	// Two cells per row: the FAA counter and the CAS-loop counter.
-	type spec struct {
-		m   *machine.Machine
-		n   int
-		cas bool
-	}
-	var specs []spec
+	var cells []appCell
 	for _, m := range machines {
 		for _, n := range o.threadSweep(m) {
-			specs = append(specs, spec{m, n, false}, spec{m, n, true})
+			for _, structure := range []string{"counter-faa", "counter-cas"} {
+				sp := o.baseAppSpec()
+				sp.Structure = structure
+				sp.Threads = n
+				sp.Seed = o.Seed + uint64(n)
+				c, err := newAppCell(m, sp)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, c)
+			}
 		}
 	}
-	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		kind := "faa"
-		if s.cas {
-			kind = "cas"
-		}
-		return fmt.Sprintf("%s/n=%d/%s", s.m.Key(), s.n, kind)
-	}, func(ci int, s spec) (*apps.RunResult, error) {
-		build := func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewFAACounter(mem) }
-		if s.cas {
-			build = func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewCASCounter(mem) }
-		}
-		return apps.Run(apps.RunConfig{
-			Machine: s.m, Threads: s.n, Build: build,
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-		})
-	})
+	results, err := runAppCells(o, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -93,58 +79,47 @@ func runF9(o Options) ([]*Table, error) {
 
 func runF10(o Options) ([]*Table, error) {
 	crit := 50 * sim.Nanosecond
-	builders := []struct {
-		name string
-		mk   func(e *sim.Engine, mem *atomics.Memory) apps.App
+	variants := []struct {
+		name      string
+		structure string
 	}{
-		{"tas", func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewTASLock(e, mem, crit) }},
-		{"ttas", func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewTTASLock(e, mem, crit) }},
-		{"ttas-backoff", func(e *sim.Engine, mem *atomics.Memory) apps.App {
-			return apps.NewTTASBackoffLock(e, mem, crit, 100*sim.Nanosecond, 3200*sim.Nanosecond)
-		}},
-		{"ticket", func(e *sim.Engine, mem *atomics.Memory) apps.App { return apps.NewTicketLock(e, mem, crit) }},
+		{"tas", "lock-tas"},
+		{"ttas", "lock-ttas"},
+		{"ttas-backoff", "lock-ttas-backoff"},
+		{"ticket", "lock-ticket"},
+		{"cohort", "lock-cohort"}, // multi-socket machines only
 	}
-	buildersFor := func(m *machine.Machine) []struct {
-		name string
-		mk   func(e *sim.Engine, mem *atomics.Memory) apps.App
+	variantsFor := func(m *machine.Machine) []struct {
+		name      string
+		structure string
 	} {
 		if m.Sockets <= 1 {
-			return builders
+			return variants[:4]
 		}
-		return append(builders[:len(builders):len(builders)], struct {
-			name string
-			mk   func(e *sim.Engine, mem *atomics.Memory) apps.App
-		}{"cohort", func(e *sim.Engine, mem *atomics.Memory) apps.App {
-			return apps.NewCohortLock(e, mem, m.SocketOf, crit, 16)
-		}})
+		return variants
 	}
 	machines := o.machines()
-	type spec struct {
-		m *machine.Machine
-		n int
-		b int
-	}
-	var specs []spec
+	var cells []appCell
 	for _, m := range machines {
-		mb := buildersFor(m)
 		for _, n := range o.threadSweep(m) {
 			if n < 2 {
 				continue
 			}
-			for b := range mb {
-				specs = append(specs, spec{m, n, b})
+			for _, v := range variantsFor(m) {
+				sp := o.baseAppSpec()
+				sp.Structure = v.structure
+				sp.Threads = n
+				sp.CritPS = crit
+				sp.Seed = o.Seed + uint64(n)
+				c, err := newAppCell(m, sp)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, c)
 			}
 		}
 	}
-	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/n=%d/%s", s.m.Key(), s.n, buildersFor(s.m)[s.b].name)
-	}, func(ci int, s spec) (*apps.RunResult, error) {
-		return apps.Run(apps.RunConfig{
-			Machine: s.m, Threads: s.n, Build: buildersFor(s.m)[s.b].mk,
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-		})
-	})
+	results, err := runAppCells(o, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -152,10 +127,10 @@ func runF10(o Options) ([]*Table, error) {
 	var tables []*Table
 	k := 0
 	for _, m := range machines {
-		machineBuilders := buildersFor(m)
+		machineVariants := variantsFor(m)
 		cols := []string{"threads"}
-		for _, b := range machineBuilders {
-			cols = append(cols, b.name+" (Mops)", b.name+" Jain")
+		for _, v := range machineVariants {
+			cols = append(cols, v.name+" (Mops)", v.name+" Jain")
 		}
 		t := NewTable("F10 ("+m.Name+"): lock acquire-release cycles (50ns critical section)", cols...)
 		for _, n := range o.threadSweep(m) {
@@ -163,7 +138,7 @@ func runF10(o Options) ([]*Table, error) {
 				continue
 			}
 			row := []string{itoa(n)}
-			for range machineBuilders {
+			for range machineVariants {
 				res := results[k]
 				k++
 				row = append(row, f2(res.ThroughputMops), f3(res.Jain))

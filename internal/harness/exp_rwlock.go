@@ -1,10 +1,6 @@
 package harness
 
 import (
-	"fmt"
-
-	"atomicsmodel/internal/apps"
-	"atomicsmodel/internal/atomics"
 	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/sim"
 )
@@ -30,52 +26,31 @@ func runF20(o Options) ([]*Table, error) {
 			eligible = append(eligible, m)
 		}
 	}
-	// Two cells per row: central and distributed. Each carries its
-	// mutual-exclusion violation count out of the cell. Fields are
-	// exported so the cell survives the manifest cache's JSON round trip.
-	type cell struct {
-		Res        *apps.RunResult
-		Violations int
-	}
-	type spec struct {
-		m    *machine.Machine
-		rf   float64
-		dist bool
-	}
-	var specs []spec
+	// Two cells per row: central and distributed. The mutual-exclusion
+	// violation count rides in the RunResult, so the cells survive the
+	// manifest cache's JSON round trip without a wrapper.
+	var cells []appCell
 	for _, m := range eligible {
 		for _, rf := range fracs {
-			specs = append(specs, spec{m, rf, false}, spec{m, rf, true})
+			for _, structure := range []string{"rwlock-central", "rwlock-distributed"} {
+				sp := o.baseAppSpec()
+				sp.Structure = structure
+				sp.Threads = threads
+				sp.ReadFraction = rf
+				sp.CritPS = 20 * sim.Nanosecond
+				if structure == "rwlock-distributed" {
+					sp.Slots = threads
+				}
+				sp.Seed = o.Seed
+				c, err := newAppCell(m, sp)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, c)
+			}
 		}
 	}
-	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		kind := "central"
-		if s.dist {
-			kind = "dist"
-		}
-		return fmt.Sprintf("%s/read=%v/%s", s.m.Key(), s.rf, kind)
-	}, func(ci int, s spec) (cell, error) {
-		var violations func() int
-		build := func(e *sim.Engine, mem *atomics.Memory) apps.App {
-			if s.dist {
-				l := apps.NewDistributedRWLock(e, mem, threads, s.rf, 20*sim.Nanosecond)
-				violations = l.Violations
-				return l
-			}
-			l := apps.NewCentralRWLock(e, mem, s.rf, 20*sim.Nanosecond)
-			violations = l.Violations
-			return l
-		}
-		res, err := apps.Run(apps.RunConfig{
-			Machine: s.m, Threads: threads, Build: build,
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed,
-			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-		})
-		if err != nil {
-			return cell{}, err
-		}
-		return cell{Res: res, Violations: violations()}, nil
-	})
+	results, err := runAppCells(o, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -88,8 +63,8 @@ func runF20(o Options) ([]*Table, error) {
 		for _, rf := range fracs {
 			central, dist := results[k], results[k+1]
 			k += 2
-			t.AddRow(f2(rf), f2(central.Res.ThroughputMops), f2(dist.Res.ThroughputMops),
-				f2(dist.Res.ThroughputMops/central.Res.ThroughputMops),
+			t.AddRow(f2(rf), f2(central.ThroughputMops), f2(dist.ThroughputMops),
+				f2(dist.ThroughputMops/central.ThroughputMops),
 				itoa(central.Violations+dist.Violations))
 		}
 		t.AddNote("violations column is the in-simulator mutual-exclusion check (must be 0)")

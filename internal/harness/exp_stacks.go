@@ -1,14 +1,5 @@
 package harness
 
-import (
-	"fmt"
-
-	"atomicsmodel/internal/apps"
-	"atomicsmodel/internal/atomics"
-	"atomicsmodel/internal/machine"
-	"atomicsmodel/internal/sim"
-)
-
 func init() {
 	Register(&Experiment{
 		ID:    "F18",
@@ -25,62 +16,39 @@ func runF18(o Options) ([]*Table, error) {
 	}
 	machines := o.machines()
 	// Four cells per row: treiber, elim-4, elim-16, ms-queue. The
-	// elimination cells also carry the stack's elimination count.
-	// Fields are exported so the cell survives the manifest cache's JSON
-	// round trip.
-	variants := []string{"treiber", "elim-4", "elim-16", "ms-queue"}
-	type cell struct {
-		Res   *apps.RunResult
-		Elims uint64
+	// elimination counts ride in the RunResult, so the cells survive the
+	// manifest cache's JSON round trip without a wrapper.
+	variants := []struct {
+		structure string
+		slots     int
+	}{
+		{"treiber-stack", 0},
+		{"elimination-stack", 4},
+		{"elimination-stack", 16},
+		{"ms-queue", 0},
 	}
-	type spec struct {
-		m       *machine.Machine
-		n       int
-		variant int
-	}
-	var specs []spec
+	var cells []appCell
 	for _, m := range machines {
 		for _, n := range sweep {
 			if n > m.NumHWThreads() {
 				continue
 			}
-			for v := 0; v < 4; v++ {
-				specs = append(specs, spec{m, n, v})
+			for _, v := range variants {
+				sp := o.baseAppSpec()
+				sp.Structure = v.structure
+				sp.Threads = n
+				sp.Depth = 256
+				sp.Slots = v.slots
+				sp.Seed = o.Seed + uint64(n)
+				c, err := newAppCell(m, sp)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, c)
 			}
 		}
 	}
-	results, err := FanoutKeyed(o, specs, func(s spec) string {
-		return fmt.Sprintf("%s/n=%d/%s", s.m.Key(), s.n, variants[s.variant])
-	}, func(ci int, s spec) (cell, error) {
-		var st *apps.EliminationStack
-		build := func(e *sim.Engine, mem *atomics.Memory) apps.App {
-			switch s.variant {
-			case 0:
-				return apps.NewTreiberStack(mem, 256)
-			case 1:
-				st = apps.NewEliminationStack(e, mem, 256, 4, 200*sim.Nanosecond)
-				return st
-			case 2:
-				st = apps.NewEliminationStack(e, mem, 256, 16, 200*sim.Nanosecond)
-				return st
-			default:
-				return apps.NewMSQueue(mem, 256)
-			}
-		}
-		res, err := apps.Run(apps.RunConfig{
-			Machine: s.m, Threads: s.n, Build: build,
-			Warmup: o.warmup(), Duration: o.duration(), Seed: o.Seed + uint64(s.n),
-			Metrics: o.MetricsOn(), Check: o.CheckOn(), Faults: o.CellFaults(ci),
-		})
-		if err != nil {
-			return cell{}, err
-		}
-		c := cell{Res: res}
-		if st != nil {
-			c.Elims = st.Eliminations()
-		}
-		return c, nil
-	})
+	results, err := runAppCells(o, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -98,11 +66,11 @@ func runF18(o Options) ([]*Table, error) {
 			treiber, e4, e16, queue := results[k], results[k+1], results[k+2], results[k+3]
 			k += 4
 			elimRate := 0.0
-			if e16.Res.TotalOps > 0 {
-				elimRate = float64(e16.Elims) / float64(e16.Res.TotalOps)
+			if e16.TotalOps > 0 {
+				elimRate = float64(e16.Eliminations) / float64(e16.TotalOps)
 			}
-			t.AddRow(itoa(n), f2(treiber.Res.ThroughputMops), f2(e4.Res.ThroughputMops),
-				f2(e16.Res.ThroughputMops), f3(elimRate), f2(queue.Res.ThroughputMops))
+			t.AddRow(itoa(n), f2(treiber.ThroughputMops), f2(e4.ThroughputMops),
+				f2(e16.ThroughputMops), f3(elimRate), f2(queue.ThroughputMops))
 		}
 		t.AddNote("elim rate = fraction of ops completed in the collision array instead of on the top pointer")
 		tables = append(tables, t)

@@ -115,14 +115,21 @@ type Status struct {
 	Error        string `json:"error,omitempty"`
 }
 
-// Stats are cumulative daemon counters, served by GET /healthz.
+// Stats are cumulative daemon counters, served by GET /healthz. The
+// Cache* fields snapshot the shared cell cache's Get traffic
+// (runlog.CacheStats): hits and misses across all jobs, and how many
+// hits replayed cells persisted by an earlier daemon incarnation —
+// the live view of crash-recovery effectiveness.
 type Stats struct {
-	Jobs      int    `json:"jobs"`
-	Executed  uint64 `json:"executed"`
-	Deduped   uint64 `json:"deduped"`
-	Shed      uint64 `json:"shed"`
-	CellsDone uint64 `json:"cellsDone"`
-	Recovered int    `json:"recovered"`
+	Jobs          int    `json:"jobs"`
+	Executed      uint64 `json:"executed"`
+	Deduped       uint64 `json:"deduped"`
+	Shed          uint64 `json:"shed"`
+	CellsDone     uint64 `json:"cellsDone"`
+	Recovered     int    `json:"recovered"`
+	CacheHits     uint64 `json:"cacheHits"`
+	CacheMisses   uint64 `json:"cacheMisses"`
+	CacheReplayed uint64 `json:"cacheReplayed"`
 }
 
 // AdmissionError is a load-shedding rejection: the queue is full, the
@@ -380,13 +387,17 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	n := len(s.jobs)
 	s.mu.Unlock()
+	cs := s.cache.Stats()
 	return Stats{
-		Jobs:      n,
-		Executed:  s.executed.Load(),
-		Deduped:   s.deduped.Load(),
-		Shed:      s.shed.Load(),
-		CellsDone: s.cellsDone.Load(),
-		Recovered: s.recovered,
+		Jobs:          n,
+		Executed:      s.executed.Load(),
+		Deduped:       s.deduped.Load(),
+		Shed:          s.shed.Load(),
+		CellsDone:     s.cellsDone.Load(),
+		Recovered:     s.recovered,
+		CacheHits:     cs.Hits,
+		CacheMisses:   cs.Misses,
+		CacheReplayed: cs.Replayed,
 	}
 }
 
@@ -664,15 +675,25 @@ func (s *Server) executeOnce(ctx context.Context, j *job) (text []byte, err erro
 		o.Metrics = &harness.MetricsCollector{}
 	}
 
-	var exp *harness.Experiment
+	// A job may carry workloads (the W suite or a fleet sweep), app
+	// specs (the A suite), or both; both suites share the job's cell
+	// cache and progress stream.
+	var exps []*harness.Experiment
 	if j.spec.Fleet {
-		exp = harness.FleetExperiment(res.Specs, res.Knee)
-	} else {
-		exp = harness.WorkloadExperiment(res.Specs)
+		exps = append(exps, harness.FleetExperiment(res.Specs, res.Knee))
+	} else if len(res.Specs) > 0 {
+		exps = append(exps, harness.WorkloadExperiment(res.Specs))
 	}
-	tables, err := harness.RunExperiment(exp, o)
-	if err != nil {
-		return nil, err
+	if len(res.AppSpecs) > 0 {
+		exps = append(exps, harness.AppExperiment(res.AppSpecs))
+	}
+	var tables []*harness.Table
+	for _, exp := range exps {
+		ts, err := harness.RunExperiment(exp, o)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, ts...)
 	}
 
 	var buf bytes.Buffer

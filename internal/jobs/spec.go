@@ -2,11 +2,12 @@
 // simulation job service: the library behind the atomicd daemon
 // (cmd/atomicd). A job is a declarative JSON request — machines (by
 // registered name or inline machine.Spec), workloads (by preset name
-// or inline workload.Spec), and run options (quick/metrics/check/
-// fleet/seed/deadline) — whose identity is a content digest derived
-// from the same machine/workload sha256 digests that key the cell
-// cache: identical requests are one job, deduplicated both in flight
-// and across daemon restarts.
+// or inline workload.Spec), apps (by registered name or inline
+// apps.Spec, run as the A suite), and run options (quick/metrics/
+// check/fleet/seed/deadline) — whose identity is a content digest
+// derived from the same machine/workload/app sha256 digests that key
+// the cell cache: identical requests are one job, deduplicated both
+// in flight and across daemon restarts.
 //
 // Robustness is the package's whole job (DESIGN.md, "Simulation as a
 // service"): submissions are journaled write-ahead (jobs.jsonl, via
@@ -28,6 +29,7 @@ import (
 	"io"
 	"strings"
 
+	"atomicsmodel/internal/apps"
 	"atomicsmodel/internal/machine"
 	"atomicsmodel/internal/runlog"
 	"atomicsmodel/internal/workload"
@@ -46,11 +48,17 @@ type Spec struct {
 	MachineSpec *machine.Spec `json:"machineSpec,omitempty"`
 
 	// Workloads lists registered workload preset names. At least one
-	// workload (named or inline) is required.
+	// workload or app (named or inline) is required.
 	Workloads []string `json:"workloads,omitempty"`
 	// WorkloadSpec is an inline workload definition, run alongside any
 	// named Workloads.
 	WorkloadSpec *workload.Spec `json:"workloadSpec,omitempty"`
+
+	// Apps lists registered app-spec names (concurrent-object
+	// benchmarks, run as the A suite).
+	Apps []string `json:"apps,omitempty"`
+	// AppSpec is an inline app definition, run alongside any named Apps.
+	AppSpec *apps.Spec `json:"appSpec,omitempty"`
 
 	// Fleet runs the workloads as a fleet sweep (bottleneck verdicts
 	// across machines, see BOTTLENECKS.md) instead of the plain W
@@ -86,6 +94,9 @@ const maxJobMachines = 64
 // maxJobWorkloads bounds the workload list.
 const maxJobWorkloads = 64
 
+// maxJobApps bounds the app list.
+const maxJobApps = 64
+
 // ParseSpec decodes a job request strictly: unknown fields (at any
 // nesting level, including inline machine and workload specs) and
 // trailing garbage are errors, so a typo'd knob can never be silently
@@ -110,6 +121,7 @@ func ParseSpec(data []byte) (*Spec, error) {
 type Resolved struct {
 	Machines []*machine.Machine
 	Specs    []*workload.Spec
+	AppSpecs []*apps.Spec
 	Seed     uint64
 	Knee     float64
 }
@@ -126,9 +138,17 @@ func (s *Spec) Resolve() (*Resolved, error) {
 	if len(s.Workloads) > maxJobWorkloads {
 		return nil, fmt.Errorf("jobs: %d workloads (max %d)", len(s.Workloads), maxJobWorkloads)
 	}
-	if len(s.Workloads) == 0 && s.WorkloadSpec == nil {
-		return nil, fmt.Errorf("jobs: a job needs at least one workload (names in %q or an inline workloadSpec); registered: %s",
-			"workloads", strings.Join(workload.SpecNames(), ", "))
+	if len(s.Apps) > maxJobApps {
+		return nil, fmt.Errorf("jobs: %d apps (max %d)", len(s.Apps), maxJobApps)
+	}
+	hasWorkloads := len(s.Workloads) > 0 || s.WorkloadSpec != nil
+	hasApps := len(s.Apps) > 0 || s.AppSpec != nil
+	if !hasWorkloads && !hasApps {
+		return nil, fmt.Errorf("jobs: a job needs at least one workload (names in %q or an inline workloadSpec) or app (names in %q or an inline appSpec); registered workloads: %s",
+			"workloads", "apps", strings.Join(workload.SpecNames(), ", "))
+	}
+	if s.Fleet && !hasWorkloads {
+		return nil, fmt.Errorf("jobs: fleet sweeps run workloads; an apps-only job cannot set fleet=true")
 	}
 	if s.Knee != 0 && !s.Fleet {
 		return nil, fmt.Errorf("jobs: knee is a fleet option; set fleet=true or drop it")
@@ -186,6 +206,20 @@ func (s *Spec) Resolve() (*Resolved, error) {
 		}
 		r.Specs = append(r.Specs, s.WorkloadSpec)
 	}
+
+	for _, name := range s.Apps {
+		a, err := apps.SpecByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, fmt.Errorf("jobs: %w", err)
+		}
+		r.AppSpecs = append(r.AppSpecs, a)
+	}
+	if s.AppSpec != nil {
+		if err := s.AppSpec.Validate(); err != nil {
+			return nil, fmt.Errorf("jobs: inline app spec: %w", err)
+		}
+		r.AppSpecs = append(r.AppSpecs, s.AppSpec)
+	}
 	return r, nil
 }
 
@@ -203,7 +237,11 @@ func (s *Spec) Validate() error {
 type jobIdentity struct {
 	Machines  []string `json:"machines"`
 	Workloads []string `json:"workloads"`
-	Fleet     bool     `json:"fleet,omitempty"`
+	// Apps is omitempty so workload-only job IDs predate the field
+	// unchanged: adding the apps layer must not invalidate every
+	// journaled job identity.
+	Apps  []string `json:"apps,omitempty"`
+	Fleet bool     `json:"fleet,omitempty"`
 	Knee      float64  `json:"knee,omitempty"`
 	Quick     bool     `json:"quick,omitempty"`
 	Metrics   bool     `json:"metrics,omitempty"`
@@ -234,6 +272,13 @@ func (s *Spec) ID() (string, error) {
 			return "", fmt.Errorf("jobs: workload digest: %w", err)
 		}
 		ident.Workloads = append(ident.Workloads, "wl@"+d)
+	}
+	for _, a := range r.AppSpecs {
+		d, err := a.Digest()
+		if err != nil {
+			return "", fmt.Errorf("jobs: app digest: %w", err)
+		}
+		ident.Apps = append(ident.Apps, "app@"+d)
 	}
 	b, err := json.Marshal(ident)
 	if err != nil {

@@ -158,3 +158,51 @@ func FuzzJobSpecLoad(f *testing.F) {
 		}
 	})
 }
+
+func TestJobAppSpecs(t *testing.T) {
+	// An apps-only job is valid; its identity carries the app digest.
+	appOnly := mustID(t, `{"apps":["treiber"],"quick":true}`)
+	if other := mustID(t, `{"apps":["ws-deque"],"quick":true}`); other == appOnly {
+		t.Errorf("distinct apps share job ID %s", appOnly)
+	}
+	// Adding an app to a workload job changes its identity; the
+	// workload-only identity itself is untouched by the apps field
+	// (omitempty), so pre-apps journaled IDs stay valid.
+	wlOnly := mustID(t, `{"workloads":["high-faa"],"quick":true}`)
+	if both := mustID(t, `{"workloads":["high-faa"],"apps":["treiber"],"quick":true}`); both == wlOnly {
+		t.Errorf("app payload did not change the job ID %s", wlOnly)
+	}
+
+	// Inline app specs resolve and validate like inline workloads.
+	s, err := ParseSpec([]byte(`{"appSpec":{"structure":"counter-faa","threads":4}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.AppSpecs) != 1 || len(r.Specs) != 0 {
+		t.Fatalf("resolved %d app specs / %d workload specs, want 1/0", len(r.AppSpecs), len(r.Specs))
+	}
+
+	bad := []struct{ name, body, wantErr string }{
+		{"unknown app", `{"apps":["nope"]}`, "unknown app"},
+		{"fleet needs workloads", `{"apps":["treiber"],"fleet":true}`, "apps-only"},
+		{"invalid inline app", `{"appSpec":{"structure":"counter-faa","threads":4,"stripes":8}}`, "stripes"},
+		{"nested unknown app field", `{"appSpec":{"structure":"counter-faa","threads":4,"nope":1}}`, "nope"},
+	}
+	for _, c := range bad {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := ParseSpec([]byte(c.body))
+			if err == nil {
+				err = s.Validate()
+			}
+			if err == nil {
+				t.Fatalf("%s accepted, want error %q", c.body, c.wantErr)
+			} else if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+}

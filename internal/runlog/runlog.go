@@ -245,6 +245,10 @@ type cacheEntry struct {
 	Key    string          `json:"key"`
 	Digest string          `json:"digest"`
 	Value  json.RawMessage `json:"value"`
+	// fromDisk marks entries read from cells.jsonl at open time (never
+	// serialized): a Get hit on one of these is a replay of an earlier
+	// run's cell, not a rediscovery of something this run stored.
+	fromDisk bool
 }
 
 // Quarantine describes one corrupt cache line that was isolated at load
@@ -280,6 +284,28 @@ type Cache struct {
 	entries     map[string]cacheEntry
 	loaded      int
 	quarantined []Quarantine
+
+	// Get/Put traffic counters; see CacheStats.
+	hits, misses, replayed uint64
+}
+
+// CacheStats is a point-in-time snapshot of a cache's traffic: how many
+// Gets hit, how many missed (the cell had to simulate), and how many of
+// the hits replayed an entry loaded from disk at open time (a resumed
+// run reusing an earlier run's cell, as opposed to re-reading a cell
+// this run stored). The daemon surfaces these on /healthz so operators
+// can see resume effectiveness without parsing manifests.
+type CacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Replayed uint64 `json:"replayed"`
+}
+
+// Stats returns a snapshot of the cache's Get traffic counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Replayed: c.replayed}
 }
 
 // ErrReadOnly is returned by Put on a cache opened with
@@ -370,6 +396,7 @@ func loadCacheFile(dir string) (map[string]cacheEntry, []Quarantine, error) {
 			})
 			continue
 		}
+		e.fromDisk = true
 		entries[e.Key] = e
 	}
 	return entries, quarantined, nil
@@ -380,11 +407,20 @@ func loadCacheFile(dir string) (map[string]cacheEntry, []Quarantine, error) {
 // visible, not silent.
 func (c *Cache) Quarantined() []Quarantine { return c.quarantined }
 
-// Get returns the cached result and digest for key, if present.
+// Get returns the cached result and digest for key, if present, and
+// counts the lookup in the cache's traffic stats.
 func (c *Cache) Get(key string) (json.RawMessage, string, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+		if e.fromDisk {
+			c.replayed++
+		}
+	} else {
+		c.misses++
+	}
 	return e.Value, e.Digest, ok
 }
 

@@ -164,3 +164,50 @@ func TestDigestStable(t *testing.T) {
 		t.Fatal("digest collision on trivial input")
 	}
 }
+
+func TestCacheStatsCountsTraffic(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s != (CacheStats{}) {
+		t.Fatalf("fresh cache stats = %+v, want zeros", s)
+	}
+	// Miss, then a hit on an entry stored this run: counted as a hit but
+	// not a replay (nothing came from disk yet).
+	if _, _, ok := c.Get("k"); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	if _, err := c.Put("k", json.RawMessage(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	c.Get("k")
+	if s := c.Stats(); s != (CacheStats{Hits: 1, Misses: 1, Replayed: 0}) {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 0 replayed", s)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the entry now comes from disk, so a hit on it is a replay.
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.Get("k")
+	c2.Get("missing")
+	if s := c2.Stats(); s != (CacheStats{Hits: 1, Misses: 1, Replayed: 1}) {
+		t.Fatalf("resumed stats = %+v, want 1 hit / 1 miss / 1 replayed", s)
+	}
+	// Re-storing the key makes it this run's entry again: further hits
+	// stop counting as replays.
+	if _, err := c2.Put("k", json.RawMessage(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	c2.Get("k")
+	if s := c2.Stats(); s != (CacheStats{Hits: 2, Misses: 1, Replayed: 1}) {
+		t.Fatalf("post-Put stats = %+v, want 2 hits / 1 miss / 1 replayed", s)
+	}
+}

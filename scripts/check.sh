@@ -9,7 +9,9 @@
 # a full invariant-checked sweep, a cache-corruption/quarantine smoke,
 # a custom-machine-spec smoke (-machinefile load, digest-keyed resume,
 # spec round trip), a workload-spec smoke (-workloadfile load,
-# digest-keyed resume, -workloads name resolution), a fleet-sweep smoke
+# digest-keyed resume, -workloads name resolution), an app-spec smoke
+# (-appfile load, digest-keyed "/app@" cells, resumed byte-identically,
+# the conflict-model prediction column), a fleet-sweep smoke
 # (-fleet cross-architecture run with bottleneck verdicts, resumed
 # byte-identically from the digest-keyed cache), an atomicd job-server
 # smoke (submit → poll → dedup → SIGTERM drain), a bench smoke
@@ -173,6 +175,41 @@ if go run ./cmd/atomicsim -quick -quiet -workloads bogus \
 fi
 grep -q 'registered:' "$dir/wlbogus.log"
 
+echo "== app spec smoke (-appfile, digest-keyed resume, prediction column)"
+# An app loaded from a JSON spec file must run end to end as the A
+# suite, resume byte-identically from its own digest-keyed cache
+# namespace, key its cells "/app@digest", and carry the conflict
+# model's prediction column.
+go run ./cmd/atomicsim -quick -quiet -machines XeonE5 \
+    -appfile examples/apps/elimination-sweep.json \
+    -manifest "$dir/apprun" > "$dir/app_fresh.txt"
+go run ./cmd/atomicsim -quick -quiet -machines XeonE5 \
+    -appfile examples/apps/elimination-sweep.json \
+    -resume "$dir/apprun" > "$dir/app_resumed.txt"
+cmp "$dir/app_fresh.txt" "$dir/app_resumed.txt" || {
+    echo "-appfile resume differs from fresh run" >&2
+    exit 1
+}
+grep -q '"cached":true' "$dir/apprun/manifest.jsonl"
+grep -q '/app@' "$dir/apprun/manifest.jsonl" || {
+    echo "app spec cells are not digest-keyed" >&2
+    exit 1
+}
+grep -q 'model Mops' "$dir/app_fresh.txt" || {
+    echo "A-suite table is missing the conflict-model prediction column" >&2
+    exit 1
+}
+# Registered presets resolve by name; an unknown one fails and lists
+# what is registered.
+go run ./cmd/atomicsim -quick -quiet -apps faa-counter \
+    -machines Ideal8 > /dev/null
+if go run ./cmd/atomicsim -quick -quiet -apps bogus \
+    > /dev/null 2> "$dir/appbogus.log"; then
+    echo "unknown -apps name did not fail" >&2
+    exit 1
+fi
+grep -q 'registered:' "$dir/appbogus.log"
+
 echo "== fleet sweep smoke (-fleet cross-architecture run, digest-keyed resume)"
 # A fleet sweep must print per-machine bottleneck verdicts and a
 # cross-architecture summary, and an interrupted sweep must resume
@@ -232,6 +269,23 @@ code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/jobs" -d "$j
 curl -s "http://$addr/healthz" | grep -q '"executed": *1' || {
     echo "dedup re-executed the job" >&2; exit 1
 }
+# App-spec jobs go through the same pipeline: submit one, wait, and the
+# result must be an A-suite table with the prediction column.
+appjob='{"machines":["XeonE5"],"apps":["treiber"],"quick":true}'
+code=$(curl -s -o "$dir/submit_app.json" -w '%{http_code}' \
+    -X POST "http://$addr/jobs" -d "$appjob")
+[ "$code" = 202 ] || { echo "app job submit returned $code, want 202" >&2; exit 1; }
+appjobid=$(sed -n 's/.*"id": *"\(j[a-f0-9]*\)".*/\1/p' "$dir/submit_app.json" | head -n 1)
+curl -s "http://$addr/jobs/$appjobid?wait=60s" | grep -q '"state": *"done"' || {
+    echo "app job did not reach done" >&2; exit 1
+}
+curl -s "http://$addr/jobs/$appjobid/result" | grep -q 'model Mops' || {
+    echo "app job result is missing the prediction column" >&2; exit 1
+}
+# The health check surfaces the shared cell cache's traffic counters.
+curl -s "http://$addr/healthz" | grep -q '"cacheHits"' || {
+    echo "healthz is missing the cell-cache counters" >&2; exit 1
+}
 kill -TERM "$atomicd_pid"
 wait "$atomicd_pid" || { echo "atomicd drain exited nonzero" >&2; exit 1; }
 [ ! -e "$dir/adrun/atomicd.addr" ] || {
@@ -260,12 +314,13 @@ awk '/BenchmarkFullCell/ { if ($(NF-1) + 0 > 20) exit 1 }' "$dir/bench_cell.txt"
     exit 1
 }
 
-echo "== fuzz smoke (runlog parsers, topology hops, machine/workload specs, shard merge)"
+echo "== fuzz smoke (runlog parsers, topology hops, machine/workload/app specs, shard merge)"
 go test -run FuzzNothing -fuzz FuzzCacheLoad -fuzztime 5s ./internal/runlog > /dev/null
 go test -run FuzzNothing -fuzz FuzzManifestValidate -fuzztime 5s ./internal/runlog > /dev/null
 go test -run FuzzNothing -fuzz FuzzHops -fuzztime 5s ./internal/topology > /dev/null
 go test -run FuzzNothing -fuzz FuzzSpecLoad -fuzztime 5s ./internal/machine > /dev/null
 go test -run FuzzNothing -fuzz FuzzWorkloadSpecLoad -fuzztime 5s ./internal/workload > /dev/null
+go test -run FuzzNothing -fuzz FuzzAppSpecLoad -fuzztime 5s ./internal/apps > /dev/null
 go test -run FuzzNothing -fuzz FuzzShardMerge -fuzztime 5s ./internal/sim > /dev/null
 go test -run FuzzNothing -fuzz FuzzJobSpecLoad -fuzztime 5s ./internal/jobs > /dev/null
 
